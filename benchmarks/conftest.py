@@ -1,0 +1,68 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's Section V at
+*bench scale* — miniature campuses and short training budgets so the full
+set completes in minutes on one CPU.  Absolute numbers therefore differ
+from the paper; the benches compare *shapes* (orderings, trends) against
+the published reference values and write both to ``benchmarks/output/``.
+
+Scale knobs: set ``REPRO_BENCH_PRESET=smoke|small|paper`` to raise
+fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ScalePreset, get_preset
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+# Bench scale: small enough that all eight bench modules finish quickly.
+BENCH = ScalePreset("bench", campus_scale=0.25, episode_len=20,
+                    train_iterations=4, episodes_per_iteration=1,
+                    eval_episodes=3, hidden_dim=8, ppo_epochs=1,
+                    minibatch_size=32)
+
+# Representative method subset for the expensive sweep figures
+# (full nine-method sweeps are a preset switch away).
+SWEEP_METHODS = ("garl", "gat", "aecomm", "maddpg", "random")
+
+
+@pytest.fixture(scope="session")
+def preset() -> ScalePreset:
+    name = os.environ.get("REPRO_BENCH_PRESET")
+    return get_preset(name) if name else BENCH
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+# Figs. 3-6 share one coalition sweep; it is computed once per session
+# (inside the first benchmark that asks for it) and reused by the rest.
+_COALITION_CACHE: dict[str, list] = {}
+
+UGV_COUNTS = (2, 4, 6)
+UAV_COUNTS = (1, 2, 3)
+
+
+def get_coalition_records(preset: ScalePreset) -> dict[str, list]:
+    if not _COALITION_CACHE:
+        from repro.experiments import coalition_sweep
+
+        for campus in ("kaist", "ucla"):
+            _COALITION_CACHE[campus] = coalition_sweep(
+                campus, SWEEP_METHODS, ugv_counts=UGV_COUNTS,
+                uav_counts=UAV_COUNTS, preset=preset, seed=0)
+    return _COALITION_CACHE
+
+
+def write_report(output_dir: Path, name: str, text: str) -> None:
+    (output_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")

@@ -1,0 +1,39 @@
+"""Extra ablation (DESIGN.md §5): the shortest-path threshold q (Eqn. 19).
+
+q caps how far structural correlation reaches: tiny q blinds MC-GCN to
+all but adjacent stops, huge q admits noise from irrelevant distant
+stops.  This bench sweeps q and reports efficiency.
+"""
+
+import numpy as np
+
+from repro.experiments import get_preset, run_method
+
+from benchmarks.conftest import write_report
+
+Q_VALUES = (1.0, 4.0, 8.0, 32.0)
+
+
+def test_ablation_structural_q(benchmark, preset, output_dir):
+    results = {}
+
+    def run():
+        for q in Q_VALUES:
+            config = preset.garl_config(structural_q=q)
+            results[q] = run_method("garl", "kaist", preset, num_ugvs=4,
+                                    num_uavs_per_ugv=2, seed=0,
+                                    garl_config=config)
+        return results
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Ablation — structural-correlation threshold q (KAIST, U=4, V'=2)", ""]
+    lines.append(f"{'q (hops)':>9s}  {'λ':>7s}  {'ψ':>7s}  {'ζ':>7s}")
+    for q, record in sorted(results.items()):
+        m = record.metrics
+        lines.append(f"{q:9.1f}  {m['efficiency']:7.4f}  {m['psi']:7.4f}  {m['zeta']:7.4f}")
+
+    for record in results.values():
+        assert np.isfinite(record.efficiency)
+
+    write_report(output_dir, "ablation_structural_q", "\n".join(lines))

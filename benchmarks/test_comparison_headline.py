@@ -1,0 +1,55 @@
+"""Headline comparison: all nine paper methods at the paper's reference
+coalition (U=4, V'=2) on KAIST, averaged over seeds.
+
+Paper shape (Section V-D): GARL leads everyone on efficiency; AE-Comm is
+the best communication baseline; MADDPG and Random trail.  Multi-seed
+averaging with bootstrap CIs gives the bench-scale version of Fig. 3's
+U=4 column the best possible signal-to-noise.
+"""
+
+import numpy as np
+
+from repro.baselines.registry import METHOD_LABELS
+from repro.experiments import aggregate_records, run_method_seeds
+
+from benchmarks.conftest import write_report
+
+METHODS = ("garl", "cubicmap", "gam", "gat", "aecomm", "dgn", "ic3net",
+           "maddpg", "random")
+SEEDS = (0, 1)
+
+
+def test_comparison_headline(benchmark, preset, output_dir):
+    results = {}
+
+    def run():
+        for method in METHODS:
+            _, agg = run_method_seeds(method, "kaist", preset, SEEDS,
+                                      num_ugvs=4, num_uavs_per_ugv=2)
+            results[method] = agg
+        return results
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    ranked = sorted(results, key=lambda m: results[m]["efficiency"].mean,
+                    reverse=True)
+    lines = [f"Headline comparison — KAIST, U=4, V'=2, mean over seeds {SEEDS}",
+             "",
+             f"{'method':16s}  {'λ mean':>8s}  {'λ 95% CI':>18s}  {'ψ':>7s}  {'ζ':>7s}"]
+    for method in ranked:
+        agg = results[method]
+        eff = agg["efficiency"]
+        lines.append(f"{METHOD_LABELS[method]:16s}  {eff.mean:8.4f}  "
+                     f"[{eff.ci_low:7.4f},{eff.ci_high:7.4f}]  "
+                     f"{agg['psi'].mean:7.4f}  {agg['zeta'].mean:7.4f}")
+    lines.append("")
+    mark = "✓" if ranked[0] == "garl" else "✗ (GARL should lead at paper scale)"
+    lines.append(f"measured leader: {METHOD_LABELS[ranked[0]]} {mark}")
+    lines.append("paper ordering: GARL > AE-Comm > {GAM, GAT, DGN, IC3Net, "
+                 "CubicMap} > MADDPG ~ Random")
+
+    for agg in results.values():
+        assert np.isfinite(agg["efficiency"].mean)
+        assert 0.0 <= agg["psi"].mean <= 1.0
+
+    write_report(output_dir, "comparison_headline", "\n".join(lines))

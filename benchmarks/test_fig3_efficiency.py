@@ -1,0 +1,42 @@
+"""Fig. 3: efficiency λ vs number of UGVs (V'=2) and UAVs per UGV (U=4).
+
+Paper shape: λ rises then falls along both axes for learned methods;
+Random stays flat and low; GARL leads everywhere.  This bench runs the
+shared coalition sweep (reused by the Fig. 4-6 benches) and prints all
+four λ panels.
+"""
+
+import numpy as np
+
+from repro.experiments import coalition_series, format_coalition_series
+from repro.viz import line_chart
+
+from benchmarks.conftest import get_coalition_records, write_report
+
+
+def test_fig3_efficiency(benchmark, preset, output_dir):
+    records = benchmark.pedantic(lambda: get_coalition_records(preset),
+                                 iterations=1, rounds=1)
+
+    lines = ["Fig. 3 — efficiency λ vs coalition size, bench scale", ""]
+    for campus in ("kaist", "ucla"):
+        for axis, label in (("ugvs", "panel (a/b): vs U, V'=2"),
+                            ("uavs", "panel (c/d): vs V', U=4")):
+            lines.append(f"--- {campus.upper()} {label} ---")
+            lines.append(format_coalition_series(records[campus], axis, "efficiency"))
+            lines.append("")
+
+    # Emit the actual figure panels as SVG line charts.
+    for campus in ("kaist", "ucla"):
+        for axis, x_label in (("ugvs", "No. of UGVs (U)"), ("uavs", "No. of UAVs (V')")):
+            panel = coalition_series(records[campus], axis, "efficiency")
+            chart = line_chart(panel, title=f"Fig. 3 — {campus.upper()} {x_label}",
+                               x_label=x_label, y_label="λ")
+            chart.save(output_dir / f"fig3_{campus}_{axis}.svg")
+
+    for campus, recs in records.items():
+        assert recs, f"no records for {campus}"
+        for record in recs:
+            assert np.isfinite(record.efficiency)
+
+    write_report(output_dir, "fig3_efficiency", "\n".join(lines))

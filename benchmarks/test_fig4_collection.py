@@ -1,0 +1,38 @@
+"""Fig. 4: collection ψ vs number of UGVs (V'=2) and UAVs per UGV (U=4).
+
+Reuses the shared coalition sweep computed by the Fig. 3 bench (or
+computes it if this bench runs first) and prints the ψ panels.
+"""
+
+import numpy as np
+
+from repro.experiments import coalition_series, format_coalition_series
+from repro.viz import line_chart
+
+from benchmarks.conftest import get_coalition_records, write_report
+
+
+def test_fig4_collection(benchmark, preset, output_dir):
+    records = benchmark.pedantic(lambda: get_coalition_records(preset),
+                                 iterations=1, rounds=1)
+
+    lines = ["Fig. 4 — collection ψ vs coalition size, bench scale", ""]
+    for campus in ("kaist", "ucla"):
+        for axis, label in (("ugvs", "vs U (V'=2)"), ("uavs", "vs V' (U=4)")):
+            lines.append(f"--- {campus.upper()} {label} ---")
+            lines.append(format_coalition_series(records[campus], axis, "psi"))
+            lines.append("")
+
+    # Emit the actual figure panels as SVG line charts.
+    for campus in ("kaist", "ucla"):
+        for axis, x_label in (("ugvs", "No. of UGVs (U)"), ("uavs", "No. of UAVs (V')")):
+            panel = coalition_series(records[campus], axis, "psi")
+            chart = line_chart(panel, title=f"Fig. 4 — {campus.upper()} {x_label}",
+                               x_label=x_label, y_label="ψ")
+            chart.save(output_dir / f"fig4_{campus}_{axis}.svg")
+
+    for campus, recs in records.items():
+        for record in recs:
+            assert 0.0 <= record.metrics["psi"] <= 1.0 + 1e-9
+
+    write_report(output_dir, "fig4_collection", "\n".join(lines))

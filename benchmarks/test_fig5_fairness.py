@@ -1,0 +1,38 @@
+"""Fig. 5: fairness ξ vs number of UGVs (V'=2) and UAVs per UGV (U=4).
+
+Reuses the shared coalition sweep computed by the Fig. 3 bench (or
+computes it if this bench runs first) and prints the ξ panels.
+"""
+
+import numpy as np
+
+from repro.experiments import coalition_series, format_coalition_series
+from repro.viz import line_chart
+
+from benchmarks.conftest import get_coalition_records, write_report
+
+
+def test_fig5_fairness(benchmark, preset, output_dir):
+    records = benchmark.pedantic(lambda: get_coalition_records(preset),
+                                 iterations=1, rounds=1)
+
+    lines = ["Fig. 5 — fairness ξ vs coalition size, bench scale", ""]
+    for campus in ("kaist", "ucla"):
+        for axis, label in (("ugvs", "vs U (V'=2)"), ("uavs", "vs V' (U=4)")):
+            lines.append(f"--- {campus.upper()} {label} ---")
+            lines.append(format_coalition_series(records[campus], axis, "xi"))
+            lines.append("")
+
+    # Emit the actual figure panels as SVG line charts.
+    for campus in ("kaist", "ucla"):
+        for axis, x_label in (("ugvs", "No. of UGVs (U)"), ("uavs", "No. of UAVs (V')")):
+            panel = coalition_series(records[campus], axis, "xi")
+            chart = line_chart(panel, title=f"Fig. 5 — {campus.upper()} {x_label}",
+                               x_label=x_label, y_label="ξ")
+            chart.save(output_dir / f"fig5_{campus}_{axis}.svg")
+
+    for campus, recs in records.items():
+        for record in recs:
+            assert 0.0 <= record.metrics["xi"] <= 1.0 + 1e-9
+
+    write_report(output_dir, "fig5_fairness", "\n".join(lines))

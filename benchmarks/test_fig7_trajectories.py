@@ -1,0 +1,54 @@
+"""Fig. 7: movement traces of UGV-UAV coalitions (U=4, V'=2, 100 slots).
+
+The paper shows traces qualitatively: GARL splits the workzone into
+sub-workzones (no overlapping or missed areas), GAM/GAT gather
+competitively in the same areas, AE-Comm/DGN wander.  This bench
+quantifies the traces with coverage / inter-UGV overlap / travel
+statistics for the same five methods.
+"""
+
+import numpy as np
+
+from repro.experiments import format_trajectory_stats, trajectory_study
+from repro.experiments.runner import build_env
+from repro.viz import render_trajectories
+
+from benchmarks.conftest import write_report
+
+METHODS = ("garl", "aecomm", "dgn", "gam", "gat")
+
+
+def test_fig7_trajectories(benchmark, preset, output_dir):
+    results = {}
+
+    def run():
+        results.update(trajectory_study("kaist", METHODS, preset=preset, seed=0))
+        return results
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Fig. 7 — trajectory statistics on KAIST (U=4, V'=2), bench scale",
+             "",
+             format_trajectory_stats(results),
+             "",
+             "paper (qualitative): GARL covers sub-workzones with no overlap;",
+             "GAM/GAT overlap competitively; AE-Comm/DGN wander inefficiently."]
+
+    # Render each method's trace as an SVG next to the text report — the
+    # actual Fig. 7 panels.
+    env = build_env("kaist", preset, num_ugvs=4, num_uavs_per_ugv=2, seed=0)
+    for method, payload in results.items():
+        canvas = render_trajectories(env, payload["trace"],
+                                     title=f"Fig. 7 — {method} (bench scale)")
+        canvas.save(output_dir / f"fig7_{method}.svg")
+    lines.append("")
+    lines.append(f"SVG panels written to {output_dir}/fig7_<method>.svg")
+
+    for method, payload in results.items():
+        stats = payload["stats"]
+        assert 0.0 <= stats["coverage"] <= 1.0
+        assert 0.0 <= stats["overlap"] <= 1.0
+        assert stats["ugv_travel_metres"] >= 0.0
+        assert len(payload["trace"]) == preset.episode_len
+
+    write_report(output_dir, "fig7_trajectories", "\n".join(lines))

@@ -1,0 +1,48 @@
+"""Table II: impact of the number of MC-GCN and E-Comm layers.
+
+Paper shape: efficiency peaks at 3 layers on both axes (too few layers =
+small receptive field / little cooperation; too many = over-smoothing /
+redundant messages).
+"""
+
+import numpy as np
+
+from repro.experiments import format_layer_sweep, layer_sweep
+from repro.experiments.paper_values import TABLE2
+
+from benchmarks.conftest import write_report
+
+LAYERS = (1, 3, 5)  # bench subset of the paper's 1..5
+
+
+def test_table2_layer_sweep(benchmark, preset, output_dir):
+    results = {}
+
+    def run():
+        for which in ("mc", "e"):
+            results[which] = layer_sweep("kaist", which=which, layers=LAYERS,
+                                         preset=preset, seed=0)
+        return results
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Table II — layer sweep on KAIST (U=4, V'=2), bench scale", ""]
+    for which in ("mc", "e"):
+        lines.append(f"--- L^{which.upper()} sweep (measured) ---")
+        lines.append(format_layer_sweep(results[which], which))
+        paper_row = TABLE2["kaist"][which]
+        lines.append("paper λ row: " + "  ".join(
+            f"L={k}:{v:.4f}" for k, v in sorted(paper_row.items())))
+        measured = {r.extra["sweep"]["layers"]: r.efficiency for r in results[which]}
+        best = max(measured, key=measured.get)
+        mark = "✓" if best == 3 else "✗ (expected 3 at paper scale)"
+        lines.append(f"measured peak at L={best} {mark}")
+        lines.append("")
+
+    # Hard invariants only: every cell is a valid metric value.
+    for which in ("mc", "e"):
+        for record in results[which]:
+            assert np.isfinite(record.efficiency)
+            assert 0.0 <= record.metrics["psi"] <= 1.0
+
+    write_report(output_dir, "table2_layer_sweep", "\n".join(lines))

@@ -1,0 +1,45 @@
+"""Table III: ablation of MC-GCN (MC) and E-Comm (E) on both campuses.
+
+Paper shape: GARL > GARL w/o E > GARL w/o MC > GARL w/o MC,E on
+efficiency, in both campuses.
+"""
+
+import numpy as np
+
+from repro.experiments import ablation_study, format_ablation
+from repro.experiments.paper_values import TABLE3
+
+from benchmarks.conftest import write_report
+
+_ORDER = ("garl", "garl_wo_e", "garl_wo_mc", "garl_wo_mc_e")
+
+
+def test_table3_ablation(benchmark, preset, output_dir):
+    results = {}
+
+    def run():
+        for campus in ("kaist", "ucla"):
+            results[campus] = ablation_study(campus, preset=preset, seed=0)
+        return results
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Table III — ablation study (U=4, V'=2), bench scale", ""]
+    for campus in ("kaist", "ucla"):
+        lines.append(f"--- {campus.upper()} (measured) ---")
+        lines.append(format_ablation(results[campus]))
+        lines.append(f"--- {campus.upper()} (paper) ---")
+        for method, row in TABLE3[campus].items():
+            lines.append(f"{method:16s}  λ={row['efficiency']:.4f}")
+        measured = {r.method: r.efficiency for r in results[campus]}
+        ordering = sorted(measured, key=measured.get, reverse=True)
+        expected_top = ordering[0] == "garl"
+        mark = "✓" if expected_top else "✗ (GARL should lead at paper scale)"
+        lines.append(f"measured ordering: {' > '.join(ordering)} {mark}")
+        lines.append("")
+
+    for campus, records in results.items():
+        for record in records:
+            assert np.isfinite(record.efficiency)
+
+    write_report(output_dir, "table3_ablation", "\n".join(lines))

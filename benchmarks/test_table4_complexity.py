@@ -1,0 +1,52 @@
+"""Table IV: per-timeslot inference cost of every method.
+
+The paper reports GPU milliseconds and GPU memory; this CPU reproduction
+reports measured per-UGV forward milliseconds and parameter counts.
+Paper shape: MADDPG and CubicMap are the most expensive; the UCLA stop
+graph (larger B) costs more than KAIST for the graph methods.
+"""
+
+from repro.experiments import complexity_study, format_complexity
+from repro.experiments.paper_values import TABLE4
+
+from benchmarks.conftest import write_report
+
+METHODS = ("garl", "gam", "gat", "cubicmap", "aecomm", "dgn", "ic3net", "maddpg")
+
+
+def test_table4_complexity(benchmark, preset, output_dir):
+    results = {}
+
+    def run():
+        for campus in ("kaist", "ucla"):
+            results[campus] = complexity_study(campus, METHODS, preset=preset,
+                                               seed=0, repeats=10)
+        return results
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Table IV — computational complexity, bench scale", ""]
+    for campus in ("kaist", "ucla"):
+        lines.append(f"--- {campus.upper()} (measured: CPU ms/UGV-step, params) ---")
+        lines.append(format_complexity(results[campus]))
+        lines.append(f"--- {campus.upper()} (paper: GPU ms, GPU MB) ---")
+        key = f"{campus}_ms"
+        for method in METHODS:
+            lines.append(f"{method:16s}  {TABLE4[method][key]:.3f} ms"
+                         f"  {TABLE4[method][f'{campus}_mb']} MB")
+        lines.append("")
+
+    # UCLA's stop graph is larger: graph-structured methods must not get
+    # cheaper when moving from KAIST to UCLA.
+    kaist_ms = {r["method"]: r["ms_per_step"] for r in results["kaist"]}
+    ucla_ms = {r["method"]: r["ms_per_step"] for r in results["ucla"]}
+    slower_on_ucla = sum(ucla_ms[m] >= kaist_ms[m] * 0.8 for m in ("garl", "gat", "gam"))
+    lines.append(f"graph methods at least comparable-or-slower on UCLA: "
+                 f"{slower_on_ucla}/3")
+
+    for rows in results.values():
+        for row in rows:
+            assert row["ms_per_step"] > 0
+            assert row["parameters"] > 0
+
+    write_report(output_dir, "table4_complexity", "\n".join(lines))

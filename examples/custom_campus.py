@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Build a custom campus, persist it to JSON, and run a coalition on it.
+
+Demonstrates the scenario-authoring path: ``random_campus`` (or your own
+OSM-converted JSON in the same schema) -> ``save_campus``/``load_campus``
+-> simulate -> compare a learned agent with the greedy planner.
+
+Run with::
+
+    python examples/custom_campus.py [--buildings 12] [--sensors 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import AirGroundEnv, EnvConfig, GARLAgent, GARLConfig
+from repro.baselines import GreedyAgent
+from repro.maps import build_stop_graph, load_campus, random_campus, save_campus
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--buildings", type=int, default=10)
+    parser.add_argument("--sensors", type=int, default=16)
+    parser.add_argument("--width", type=float, default=700.0)
+    parser.add_argument("--style", choices=["grid", "irregular"], default="irregular")
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    campus = random_campus("custom-demo", width=args.width, height=args.width,
+                           buildings=args.buildings, sensors=args.sensors,
+                           seed=args.seed, road_style=args.style)
+    print(f"generated campus: {campus.num_buildings} buildings, "
+          f"{campus.num_sensors} sensors, "
+          f"{campus.roads.number_of_edges()} road segments")
+
+    # Round-trip through the JSON schema (the same path an OSM extract
+    # converted to this schema would take).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_campus(campus, Path(tmp) / "campus.json")
+        campus = load_campus(path)
+        print(f"round-tripped through {path.name}")
+
+    stops = build_stop_graph(campus)
+    config = EnvConfig(num_ugvs=3, num_uavs_per_ugv=2, episode_len=30)
+
+    env = AirGroundEnv(campus, config, stops=stops, seed=args.seed)
+    greedy = GreedyAgent(env, seed=args.seed)
+    greedy_snap = greedy.evaluate(episodes=3)
+    print(f"\ngreedy planner : {greedy_snap}")
+
+    env = AirGroundEnv(campus, config, stops=stops, seed=args.seed)
+    agent = GARLAgent(env, GARLConfig(hidden_dim=16, seed=args.seed))
+    print(f"training GARL for {args.iterations} iterations ...")
+    agent.train(args.iterations)
+    garl_snap = agent.evaluate(episodes=3, greedy=False)
+    print(f"GARL           : {garl_snap}")
+
+    print("\n(The greedy planner exploits myopically; with enough training "
+          "iterations GARL overtakes it on fairness and efficiency.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Disaster-response scenario (paper intro) on UCLA with uneven data.
+
+A "damage zone" in the campus's west half makes its sensors hold 4x the
+data of the rest — exactly the uneven distribution E-Comm is designed
+for, since UGV formations that *look* the same must behave differently
+depending on where the data is.  The script trains GARL, evaluates it,
+and prints trajectory statistics showing the coalition splitting the
+workzone.
+
+Run with::
+
+    python examples/disaster_response.py [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import AirGroundEnv, EnvConfig, GARLAgent, GARLConfig, build_campus
+from repro.experiments import trajectory_statistics
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    campus = build_campus("ucla", scale=args.scale)
+    # The west half is the disaster zone: 4x the sensory data to collect.
+    west = campus.sensor_positions[:, 0] < campus.width / 2.0
+    weights = np.where(west, 4.0, 1.0)
+    print(f"UCLA disaster response: {int(west.sum())}/{campus.num_sensors} "
+          f"sensors in the west damage zone hold 4x data")
+
+    env = AirGroundEnv(campus,
+                       EnvConfig(num_ugvs=4, num_uavs_per_ugv=2, episode_len=40),
+                       seed=args.seed, data_weights=weights)
+    agent = GARLAgent(env, GARLConfig(hidden_dim=16, seed=args.seed))
+
+    print(f"Training GARL for {args.iterations} iterations ...")
+    agent.train(args.iterations)
+
+    snapshot = agent.evaluate(episodes=3, greedy=False)
+    print(f"\nMetrics: {snapshot}")
+
+    trace = agent.rollout_trace(greedy=False, seed=args.seed)
+    stats = trajectory_statistics(trace, env)
+    print("\nTrajectory statistics (one episode):")
+    print(f"  stop coverage        {stats['coverage']:.3f}")
+    print(f"  inter-UGV overlap    {stats['overlap']:.3f}  (lower = better split)")
+    print(f"  total UGV travel     {stats['ugv_travel_metres']:.0f} m")
+
+    # How much of the collected data came out of the damage zone?
+    remaining = np.array([s.remaining for s in env.sensors])
+    initial = np.array([s.initial_data for s in env.sensors])
+    west_share = float((initial[west] - remaining[west]).sum()
+                       / max((initial - remaining).sum(), 1e-9))
+    print(f"  share collected from damage zone: {west_share:.2%}")
+
+
+if __name__ == "__main__":
+    main()

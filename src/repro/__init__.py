@@ -1,0 +1,56 @@
+"""repro — reproduction of "Air-Ground Spatial Crowdsourcing with UAV
+Carriers by Geometric Graph Convolutional Multi-Agent Deep Reinforcement
+Learning" (ICDE 2023).
+
+Quickstart::
+
+    from repro import AirGroundEnv, EnvConfig, GARLAgent, build_campus
+
+    campus = build_campus("kaist", scale=0.3)   # miniature for CPU runs
+    env = AirGroundEnv(campus, EnvConfig(num_ugvs=4, num_uavs_per_ugv=2))
+    agent = GARLAgent(env)
+    agent.train(iterations=10)
+    print(agent.evaluate())
+
+Packages
+--------
+``repro.nn``
+    From-scratch numpy autograd + layers (the PyTorch substitute).
+``repro.maps``
+    Synthetic KAIST / UCLA campuses, road networks, the UGV stop graph.
+``repro.env``
+    The time-slotted air-ground spatial-crowdsourcing Dec-POMDP.
+``repro.core``
+    GARL: MC-GCN, E-Comm, IPPO, agent facade.
+``repro.baselines``
+    The eight comparison methods plus a registry.
+``repro.experiments``
+    Harness reproducing every table and figure of Section V.
+"""
+
+from .baselines import AGENT_NAMES, METHOD_LABELS, make_agent
+from .core import GARLAgent, GARLConfig, IPPOTrainer, PPOConfig
+from .env import AirGroundEnv, EnvConfig, MetricSnapshot
+from .maps import CampusMap, StopGraph, build_campus, build_kaist, build_stop_graph, build_ucla
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AirGroundEnv",
+    "EnvConfig",
+    "MetricSnapshot",
+    "GARLAgent",
+    "GARLConfig",
+    "PPOConfig",
+    "IPPOTrainer",
+    "make_agent",
+    "AGENT_NAMES",
+    "METHOD_LABELS",
+    "CampusMap",
+    "StopGraph",
+    "build_campus",
+    "build_kaist",
+    "build_ucla",
+    "build_stop_graph",
+]

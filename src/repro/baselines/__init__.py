@@ -1,0 +1,42 @@
+"""``repro.baselines`` — the eight comparison methods of Section V-D."""
+
+from .aecomm import AECommAgent, AECommUGVPolicy
+from .base import NodeScorer, PolicyAgent, assemble_output, flat_obs_dim
+from .cubicmap import CubicMapAgent, CubicMapUGVPolicy
+from .dgn import DGNAgent, DGNUGVPolicy
+from .gam import GAMAgent, GAMUGVPolicy
+from .gat import GATAgent, GATUGVPolicy
+from .heuristic import GreedyAgent, GreedyUAVPolicy, GreedyUGVPolicy
+from .ic3net import IC3NetAgent, IC3NetUGVPolicy
+from .maddpg import MADDPGAgent
+from .random_agent import RandomAgent, RandomUAVPolicy, RandomUGVPolicy
+from .registry import AGENT_NAMES, METHOD_LABELS, make_agent
+
+__all__ = [
+    "PolicyAgent",
+    "NodeScorer",
+    "assemble_output",
+    "flat_obs_dim",
+    "RandomAgent",
+    "RandomUGVPolicy",
+    "RandomUAVPolicy",
+    "GATAgent",
+    "GreedyAgent",
+    "GreedyUGVPolicy",
+    "GreedyUAVPolicy",
+    "GATUGVPolicy",
+    "GAMAgent",
+    "GAMUGVPolicy",
+    "CubicMapAgent",
+    "CubicMapUGVPolicy",
+    "AECommAgent",
+    "AECommUGVPolicy",
+    "DGNAgent",
+    "DGNUGVPolicy",
+    "IC3NetAgent",
+    "IC3NetUGVPolicy",
+    "MADDPGAgent",
+    "make_agent",
+    "AGENT_NAMES",
+    "METHOD_LABELS",
+]

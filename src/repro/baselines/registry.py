@@ -1,0 +1,79 @@
+"""Agent registry: build GARL, its ablations, or any baseline by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.config import GARLConfig
+from ..core.garl import GARLAgent
+from ..env.airground import AirGroundEnv
+from .aecomm import AECommAgent
+from .cubicmap import CubicMapAgent
+from .dgn import DGNAgent
+from .gam import GAMAgent
+from .gat import GATAgent
+from .heuristic import GreedyAgent
+from .ic3net import IC3NetAgent
+from .maddpg import MADDPGAgent
+from .random_agent import RandomAgent
+
+__all__ = ["make_agent", "AGENT_NAMES", "METHOD_LABELS"]
+
+
+def _garl(env: AirGroundEnv, config: GARLConfig) -> GARLAgent:
+    return GARLAgent(env, config)
+
+
+def _garl_wo_mc(env: AirGroundEnv, config: GARLConfig) -> GARLAgent:
+    return GARLAgent(env, config.ablated(mc=False, ecomm=True))
+
+
+def _garl_wo_e(env: AirGroundEnv, config: GARLConfig) -> GARLAgent:
+    return GARLAgent(env, config.ablated(mc=True, ecomm=False))
+
+
+def _garl_wo_mc_e(env: AirGroundEnv, config: GARLConfig) -> GARLAgent:
+    return GARLAgent(env, config.ablated(mc=False, ecomm=False))
+
+
+_FACTORIES: dict[str, Callable[[AirGroundEnv, GARLConfig], object]] = {
+    "garl": _garl,
+    "garl_wo_mc": _garl_wo_mc,
+    "garl_wo_e": _garl_wo_e,
+    "garl_wo_mc_e": _garl_wo_mc_e,
+    "cubicmap": CubicMapAgent,
+    "gam": GAMAgent,
+    "gat": GATAgent,
+    "aecomm": AECommAgent,
+    "dgn": DGNAgent,
+    "ic3net": IC3NetAgent,
+    "maddpg": MADDPGAgent,
+    "random": RandomAgent,
+    "greedy": GreedyAgent,
+}
+
+AGENT_NAMES = tuple(sorted(_FACTORIES))
+
+METHOD_LABELS = {
+    "garl": "GARL",
+    "garl_wo_mc": "GARL w/o MC",
+    "garl_wo_e": "GARL w/o E",
+    "garl_wo_mc_e": "GARL w/o MC, E",
+    "cubicmap": "CubicMap",
+    "gam": "GAM",
+    "gat": "GAT",
+    "aecomm": "AE-Comm",
+    "dgn": "DGN",
+    "ic3net": "IC3Net",
+    "maddpg": "MADDPG",
+    "random": "Random",
+    "greedy": "Greedy",
+}
+
+
+def make_agent(name: str, env: AirGroundEnv, config: GARLConfig | None = None):
+    """Instantiate an agent by registry name (see ``AGENT_NAMES``)."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown agent {name!r}; choose from {AGENT_NAMES}")
+    return _FACTORIES[key](env, config or GARLConfig())

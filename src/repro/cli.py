@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the paper's experiments:
+
+* ``train``        — train one method on one campus, optionally saving a
+                     checkpoint directory.
+* ``evaluate``     — evaluate a saved checkpoint.
+* ``ablation``     — Table III rows for one campus.
+* ``layers``       — Table II layer sweep.
+* ``sweep``        — Fig. 3-6 coalition sweep (writes JSON records).
+* ``complexity``   — Table IV inference-cost rows.
+* ``trajectories`` — Fig. 7 trajectory statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines.registry import AGENT_NAMES, make_agent
+from .experiments import (
+    ablation_study,
+    complexity_study,
+    coalition_sweep,
+    format_ablation,
+    format_coalition_series,
+    format_complexity,
+    format_layer_sweep,
+    format_trajectory_stats,
+    get_preset,
+    layer_sweep,
+    run_method,
+    save_records,
+    trajectory_study,
+)
+from .experiments.runner import build_env, method_seed
+
+_CAMPUSES = ("kaist", "ucla")
+_PRESETS = ("smoke", "small", "paper")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--campus", default="kaist", choices=_CAMPUSES)
+    parser.add_argument("--preset", default="smoke", choices=_PRESETS)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="GARL reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train one method")
+    p_train.add_argument("method", choices=sorted(AGENT_NAMES))
+    _add_common(p_train)
+    p_train.add_argument("--ugvs", type=int, default=4)
+    p_train.add_argument("--uavs", type=int, default=2)
+    p_train.add_argument("--iterations", type=int, default=None,
+                         help="override the preset's training iterations")
+    p_train.add_argument("--save", type=str, default=None,
+                         help="directory to write the trained checkpoint")
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    p_eval.add_argument("method", choices=sorted(AGENT_NAMES))
+    p_eval.add_argument("checkpoint", help="directory written by 'train --save'")
+    _add_common(p_eval)
+    p_eval.add_argument("--ugvs", type=int, default=4)
+    p_eval.add_argument("--uavs", type=int, default=2)
+    p_eval.add_argument("--episodes", type=int, default=3)
+
+    p_abl = sub.add_parser("ablation", help="Table III rows")
+    _add_common(p_abl)
+
+    p_layers = sub.add_parser("layers", help="Table II layer sweep")
+    _add_common(p_layers)
+    p_layers.add_argument("--which", choices=("mc", "e"), default="mc")
+    p_layers.add_argument("--layers", type=int, nargs="+", default=[1, 2, 3, 4, 5])
+
+    p_sweep = sub.add_parser("sweep", help="Fig. 3-6 coalition sweep")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--methods", nargs="+", default=["garl", "gat", "random"])
+    p_sweep.add_argument("--ugv-counts", type=int, nargs="+", default=[2, 4, 6])
+    p_sweep.add_argument("--uav-counts", type=int, nargs="+", default=[1, 2, 3])
+    p_sweep.add_argument("--metric", default="efficiency",
+                         choices=("efficiency", "psi", "xi", "zeta", "beta"))
+    p_sweep.add_argument("--out", type=str, default=None,
+                         help="write raw records to this JSON file")
+
+    p_cx = sub.add_parser("complexity", help="Table IV rows")
+    _add_common(p_cx)
+    p_cx.add_argument("--methods", nargs="+",
+                      default=["garl", "gam", "gat", "cubicmap", "aecomm",
+                               "dgn", "ic3net", "maddpg"])
+
+    p_traj = sub.add_parser("trajectories", help="Fig. 7 statistics")
+    _add_common(p_traj)
+    p_traj.add_argument("--methods", nargs="+",
+                        default=["garl", "aecomm", "dgn", "gam", "gat"])
+
+    p_render = sub.add_parser("render", help="render a campus (and optional "
+                                             "method trace) to SVG")
+    _add_common(p_render)
+    p_render.add_argument("--method", default=None, choices=sorted(AGENT_NAMES),
+                          help="also train this method and overlay its trace")
+    p_render.add_argument("--out", default="campus.svg")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    preset = get_preset(args.preset)
+
+    if args.command == "train":
+        record = run_method(args.method, args.campus, preset,
+                            num_ugvs=args.ugvs, num_uavs_per_ugv=args.uavs,
+                            seed=args.seed, train_iterations=args.iterations)
+        m = record.metrics
+        print(f"{args.method} on {args.campus}: λ={m['efficiency']:.4f} "
+              f"ψ={m['psi']:.4f} ξ={m['xi']:.4f} ζ={m['zeta']:.4f} β={m['beta']:.4f}")
+        if args.save:
+            env = build_env(args.campus, preset, args.ugvs, args.uavs, args.seed)
+            agent = make_agent(args.method, env, preset.garl_config().replace(
+                seed=method_seed(args.method, args.seed)))
+            iters = args.iterations if args.iterations is not None else preset.train_iterations
+            agent.train(iters, preset.episodes_per_iteration)
+            agent.save(args.save)
+            print(f"checkpoint written to {args.save}")
+
+    elif args.command == "evaluate":
+        env = build_env(args.campus, preset, args.ugvs, args.uavs, args.seed)
+        agent = make_agent(args.method, env, preset.garl_config())
+        agent.load(args.checkpoint)
+        snap = agent.evaluate(episodes=args.episodes, greedy=False)
+        print(snap)
+
+    elif args.command == "ablation":
+        print(format_ablation(ablation_study(args.campus, preset, seed=args.seed)))
+
+    elif args.command == "layers":
+        records = layer_sweep(args.campus, which=args.which,
+                              layers=tuple(args.layers), preset=preset,
+                              seed=args.seed)
+        print(format_layer_sweep(records, args.which))
+
+    elif args.command == "sweep":
+        records = coalition_sweep(args.campus, tuple(args.methods),
+                                  ugv_counts=tuple(args.ugv_counts),
+                                  uav_counts=tuple(args.uav_counts),
+                                  preset=preset, seed=args.seed)
+        for axis in ("ugvs", "uavs"):
+            print(format_coalition_series(records, axis, args.metric))
+            print()
+        if args.out:
+            save_records(records, args.out)
+            print(f"records written to {args.out}")
+
+    elif args.command == "complexity":
+        rows = complexity_study(args.campus, tuple(args.methods), preset,
+                                seed=args.seed)
+        print(format_complexity(rows))
+
+    elif args.command == "trajectories":
+        stats = trajectory_study(args.campus, tuple(args.methods), preset,
+                                 seed=args.seed)
+        print(format_trajectory_stats(stats))
+
+    elif args.command == "render":
+        from .viz import render_campus, render_trajectories
+
+        env = build_env(args.campus, preset, num_ugvs=4, num_uavs_per_ugv=2,
+                        seed=args.seed)
+        if args.method:
+            agent = make_agent(args.method, env, preset.garl_config().replace(
+                seed=method_seed(args.method, args.seed)))
+            agent.train(preset.train_iterations, preset.episodes_per_iteration)
+            trace = agent.rollout_trace(greedy=False, seed=args.seed)
+            canvas = render_trajectories(env, trace,
+                                         title=f"{args.method} on {args.campus}")
+        else:
+            env.reset()
+            canvas = render_campus(env.campus, stops=env.stops)
+        path = canvas.save(args.out)
+        print(f"SVG written to {path}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

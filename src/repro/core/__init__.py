@@ -1,0 +1,38 @@
+"""``repro.core`` — GARL: MC-GCN, E-Comm, IPPO and the agent facade."""
+
+from .checkpointing import CheckpointManager
+from .buffer import UAVRollout, UAVSample, UGVRollout, UGVSample
+from .config import GARLConfig, PPOConfig
+from .ecomm import EComm
+from .gae import compute_gae
+from .garl import GARLAgent
+from .ippo import IPPOTrainer, TrainRecord, run_episode
+from .mc_gcn import MCGCN, multi_center_structural_feature
+from .policies import UAVPolicy, UGVPolicy, UGVPolicyOutput, bias_release_head
+from .schedules import ConstantSchedule, CosineSchedule, ExponentialSchedule, LinearSchedule
+
+__all__ = [
+    "GARLConfig",
+    "PPOConfig",
+    "MCGCN",
+    "multi_center_structural_feature",
+    "EComm",
+    "UGVPolicy",
+    "UAVPolicy",
+    "UGVPolicyOutput",
+    "compute_gae",
+    "UGVRollout",
+    "UAVRollout",
+    "UGVSample",
+    "UAVSample",
+    "IPPOTrainer",
+    "TrainRecord",
+    "run_episode",
+    "GARLAgent",
+    "CheckpointManager",
+    "bias_release_head",
+    "ConstantSchedule",
+    "LinearSchedule",
+    "CosineSchedule",
+    "ExponentialSchedule",
+]

@@ -1,0 +1,144 @@
+"""Rollout storage for IPPO training (the D^u / D^v buffers of Algorithm 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..env.observation import UAVObservation, UGVObservation
+from .gae import compute_gae
+
+__all__ = ["UGVRollout", "UAVRollout", "UGVSample", "UAVSample"]
+
+
+@dataclass
+class UGVSample:
+    """One trainable (timestep, agent) pair for the UGV policy.
+
+    ``joint_observations`` is the full per-UGV observation list of that
+    timestep — the coupled GARL forward pass re-runs on it during PPO
+    updates, so samples sharing a timestep share the same list object
+    (trainers group by identity to forward once).
+    """
+
+    joint_observations: list[UGVObservation]
+    agent: int
+    action: int
+    log_prob: float
+    value: float
+    advantage: float = 0.0
+    ret: float = 0.0
+
+
+@dataclass
+class UAVSample:
+    """One trainable airborne transition for the UAV policy."""
+
+    observation: UAVObservation
+    action: np.ndarray
+    log_prob: float
+    value: float
+    advantage: float = 0.0
+    ret: float = 0.0
+
+
+@dataclass
+class UGVRollout:
+    """Episode storage for all UGVs.
+
+    ``observations[t]`` is the joint list of per-UGV observations, which
+    the coupled GARL forward pass needs in full.  Waiting UGVs do not act
+    and contribute no policy-loss samples, but their rewards still flow
+    into the GAE stream so release decisions are credited correctly.
+    """
+
+    num_agents: int
+    observations: list[list[UGVObservation]] = field(default_factory=list)
+    actions: list[np.ndarray] = field(default_factory=list)
+    log_probs: list[np.ndarray] = field(default_factory=list)
+    values: list[np.ndarray] = field(default_factory=list)
+    rewards: list[np.ndarray] = field(default_factory=list)
+    actionable: list[np.ndarray] = field(default_factory=list)
+    dones: list[bool] = field(default_factory=list)
+
+    def add(self, obs, actions, log_probs, values, rewards, actionable, done) -> None:
+        self.observations.append(obs)
+        self.actions.append(np.asarray(actions, dtype=int))
+        self.log_probs.append(np.asarray(log_probs, dtype=float))
+        self.values.append(np.asarray(values, dtype=float))
+        self.rewards.append(np.asarray(rewards, dtype=float))
+        self.actionable.append(np.asarray(actionable, dtype=bool))
+        self.dones.append(bool(done))
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def build_samples(self, gamma: float, lam: float) -> list[UGVSample]:
+        """Run GAE per agent and emit samples for actionable steps only."""
+        samples: list[UGVSample] = []
+        rewards = np.asarray(self.rewards)  # (T, U)
+        values = np.asarray(self.values)
+        dones = np.asarray(self.dones)
+        for agent in range(self.num_agents):
+            adv, ret = compute_gae(rewards[:, agent], values[:, agent], dones, gamma, lam)
+            for t in range(len(self)):
+                if not self.actionable[t][agent]:
+                    continue
+                samples.append(UGVSample(
+                    joint_observations=self.observations[t], agent=agent,
+                    action=int(self.actions[t][agent]),
+                    log_prob=float(self.log_probs[t][agent]),
+                    value=float(values[t, agent]),
+                    advantage=float(adv[t]), ret=float(ret[t])))
+        return samples
+
+
+@dataclass
+class UAVRollout:
+    """Per-UAV flight segments.
+
+    Each UAV's airborne transitions form contiguous segments terminated
+    by docking; GAE treats each segment as its own (finished) trajectory.
+    """
+
+    num_agents: int
+    _segments: list[list[dict]] = field(default_factory=list)
+    _open: dict[int, list[dict]] = field(default_factory=dict)
+
+    def add(self, agent: int, observation: UAVObservation, action: np.ndarray,
+            log_prob: float, value: float, reward: float) -> None:
+        self._open.setdefault(agent, []).append({
+            "obs": observation, "action": np.asarray(action, dtype=float),
+            "logp": float(log_prob), "value": float(value), "reward": float(reward),
+        })
+
+    def close_flight(self, agent: int) -> None:
+        """Seal the agent's current flight segment (on docking)."""
+        seg = self._open.pop(agent, None)
+        if seg:
+            self._segments.append(seg)
+
+    def close_all(self) -> None:
+        for agent in list(self._open):
+            self.close_flight(agent)
+
+    @property
+    def num_transitions(self) -> int:
+        return sum(len(s) for s in self._segments) + sum(len(s) for s in self._open.values())
+
+    def build_samples(self, gamma: float, lam: float) -> list[UAVSample]:
+        self.close_all()
+        samples: list[UAVSample] = []
+        for segment in self._segments:
+            rewards = np.array([step["reward"] for step in segment])
+            values = np.array([step["value"] for step in segment])
+            dones = np.zeros(len(segment), dtype=bool)
+            dones[-1] = True  # docking ends the decision sequence
+            adv, ret = compute_gae(rewards, values, dones, gamma, lam)
+            for i, step in enumerate(segment):
+                samples.append(UAVSample(
+                    observation=step["obs"], action=step["action"],
+                    log_prob=step["logp"], value=step["value"],
+                    advantage=float(adv[i]), ret=float(ret[i])))
+        return samples

@@ -1,0 +1,87 @@
+"""Checkpoint management for long training runs.
+
+``CheckpointManager`` is used as (or from) a ``train(callback=...)``:
+it saves the agent every ``every`` iterations, keeps only the most recent
+``keep`` periodic checkpoints, and always preserves the best-metric one.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+__all__ = ["CheckpointManager"]
+
+
+class CheckpointManager:
+    """Periodic + best-model checkpointing for any agent with ``save``.
+
+    Usage::
+
+        manager = CheckpointManager(run_dir, agent, every=10)
+        agent.train(iterations=200, callback=manager)
+        best = manager.best_directory  # load with agent.load(best)
+    """
+
+    def __init__(self, directory: str | Path, agent, every: int = 10,
+                 keep: int = 3, metric: str = "efficiency"):
+        if every < 1 or keep < 1:
+            raise ValueError("every and keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.agent = agent
+        self.every = every
+        self.keep = keep
+        self.metric = metric
+        self.best_value = -float("inf")
+        self._periodic: list[Path] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def best_directory(self) -> Path:
+        return self.directory / "best"
+
+    def __call__(self, record) -> None:
+        """Train-loop callback: accepts TrainRecord or a plain dict."""
+        metrics = record.metrics if hasattr(record, "metrics") else record.get("metrics", {})
+        iteration = getattr(record, "iteration", None)
+        if iteration is None and isinstance(record, dict):
+            iteration = record.get("iteration", self._count)
+        value = float(metrics.get(self.metric, -float("inf")))
+        self._count += 1
+
+        if value > self.best_value:
+            self.best_value = value
+            self.agent.save(self.best_directory)
+            self._write_meta(self.best_directory, iteration, value)
+
+        if self._count % self.every == 0:
+            path = self.directory / f"iter_{iteration:06d}"
+            self.agent.save(path)
+            self._write_meta(path, iteration, value)
+            self._periodic.append(path)
+            while len(self._periodic) > self.keep:
+                stale = self._periodic.pop(0)
+                shutil.rmtree(stale, ignore_errors=True)
+
+    def _write_meta(self, path: Path, iteration, value: float) -> None:
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "checkpoint.json").write_text(json.dumps({
+            "iteration": iteration,
+            "metric": self.metric,
+            "value": value,
+        }))
+
+    # ------------------------------------------------------------------
+    def load_best(self) -> dict:
+        """Load the best checkpoint back into the agent; returns its meta."""
+        if not self.best_directory.exists():
+            raise FileNotFoundError("no best checkpoint recorded yet")
+        self.agent.load(self.best_directory)
+        return json.loads((self.best_directory / "checkpoint.json").read_text())
+
+    def available(self) -> list[Path]:
+        """Periodic checkpoints currently on disk (oldest first)."""
+        return list(self._periodic)

@@ -1,0 +1,135 @@
+"""E-Comm: equivariant multi-agent communication (Section IV-C).
+
+UGVs form a complete communication graph.  Each layer performs
+
+* **Message aggregation** (invariant, Eqns. 25-27): softmax weights from
+  reciprocal pairwise distances combine linear messages from neighbours;
+* **Target updating** (equivariant, Eqns. 28-29): geometric features move
+  along unit relative-direction vectors, norm-clipped by ``g̃_max``.
+
+The readout (Eqn. 30) scores every stop against the final geometric
+target and concatenates with the invariant feature.
+
+Equivariance contract (property-tested): for any rotation ``R`` and
+translation ``t`` applied to the input coordinates, the non-geometric
+outputs ``h`` are unchanged and the geometric outputs satisfy
+``g(Rx + t) = R g(x) + t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from .config import GARLConfig
+
+__all__ = ["EComm"]
+
+
+class ECommLayer(Module):
+    """One E-Comm layer: invariant aggregation + equivariant update.
+
+    ``uniform_weights`` replaces the inverse-distance softmax (Eqn. 26)
+    with a plain mean over neighbours — the ablation of the geometric
+    weighting.
+    """
+
+    def __init__(self, dim: int, clip: float, rng: np.random.Generator,
+                 uniform_weights: bool = False):
+        super().__init__()
+        self.clip = clip
+        self.uniform_weights = uniform_weights
+        self.phi_m = Linear(dim, dim, rng=rng)  # message encoder (Eqn. 27a)
+        self.phi_h = Linear(2 * dim, dim, rng=rng)  # feature update (Eqn. 27c)
+        self.phi_g = Linear(dim, 1, rng=rng)  # radial magnitude (Eqn. 28)
+
+    def forward(self, h: Tensor, g: Tensor) -> tuple[Tensor, Tensor]:
+        """Process all U agents at once; h is (U, D), g is (U, 2)."""
+        u = h.shape[0]
+        if u == 1:
+            # A lone UGV has no neighbours: feature passes through the
+            # update MLP with a zero message; geometry is unchanged.
+            zero_msg = Tensor(np.zeros_like(h.data))
+            h_new = self.phi_h(Tensor.concat([h, zero_msg], axis=-1)).tanh()
+            return h_new, g
+
+    # Pairwise relative geometry r^{uu'} (Eqn. 25); diagonal is excluded.
+        r = g.expand_dims(1) - g.expand_dims(0)  # (U, U, 2), r[u, u'] = g_u - g_u'
+        norms = r.norm(axis=-1, eps=1e-8)  # (U, U)
+        eye = np.eye(u, dtype=bool)
+
+        # Eqn. (26): softmax over exp(1/||r||), masked to neighbours.
+        if self.uniform_weights:
+            alpha = Tensor(np.where(eye, 0.0, 1.0 / (u - 1)))
+        else:
+            inv = 1.0 / (norms + 1e-6)
+            logits = inv + Tensor(np.where(eye, -1e9, 0.0))
+            alpha = logits.softmax(axis=-1)  # (U, U)
+
+        # Eqn. (27): invariant message aggregation.
+        messages = self.phi_m(h)  # (U, D); m^{uu'} depends only on u'
+        aggregated = alpha @ messages  # (U, D)
+        h_new = self.phi_h(Tensor.concat([h, aggregated], axis=-1)).tanh()
+
+        # Eqn. (28): radial joint effect; unit vectors keep direction only.
+        unit = r / (norms.expand_dims(-1) + 1e-6)
+        magnitudes = self.phi_g(messages).squeeze(-1)  # (U,) scalar per sender
+        weighted = alpha * magnitudes.expand_dims(0)  # (U, U)
+        effect = (weighted.expand_dims(-1) * unit).sum(axis=1)  # (U, 2)
+
+        # Eqn. (29): norm-clip preserves rotation equivariance.
+        effect_norm = effect.norm(axis=-1, keepdims=True, eps=1e-8)
+        scale = Tensor.minimum(Tensor(np.ones_like(effect_norm.data)),
+                               self.clip / effect_norm)
+        g_new = g + effect * scale
+        return h_new, g_new
+
+
+class EComm(Module):
+    """Stacked E-Comm layers plus the stop-preference readout (Eqn. 30)."""
+
+    def __init__(self, dim: int, config: GARLConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(config.seed + 1)
+        self.config = config
+        self.layers = [ECommLayer(dim, config.ecomm_clip, rng,
+                                  uniform_weights=config.ecomm_uniform_weights)
+                       for _ in range(config.ecomm_layers)]
+        self.w3 = Linear(2, 2, bias=False, rng=rng)  # W_3 in Eqn. (30a)
+        self.phi_u = Linear(dim + 1, dim, rng=rng)  # final readout (Eqn. 30b)
+
+    def forward(self, features: Tensor, positions: np.ndarray,
+                stop_positions: np.ndarray) -> tuple[Tensor, Tensor, Tensor]:
+        """Communicate among all UGVs.
+
+        Parameters
+        ----------
+        features:
+            ``(U, D)`` stacked MC-GCN features h̃ (Eqn. 24a).
+        positions:
+            ``(U, 2)`` UGV coordinates, initialising g (Eqn. 24b).
+        stop_positions:
+            ``(B, 2)`` stop coordinates for the preference readout.
+
+        Returns
+        -------
+        (h, z, g):
+            Final invariant features ``(U, D)``, per-stop preference
+            scores ``(U, B)`` and final geometric targets ``(U, 2)``.
+        """
+        h = features
+        g = Tensor(np.asarray(positions, dtype=float))
+        for layer in self.layers:
+            h, g = layer(h, g)
+
+        # Eqn. (30a): z^u_b = x_b^T W_3 g_u — affinity of stop b to the
+        # learned target position of UGV u.
+        stops = Tensor(np.asarray(stop_positions, dtype=float))  # (B, 2)
+        z = self.w3(stops) @ g.transpose()  # (B, U)
+        z = z.transpose()  # (U, B)
+
+        # Eqn. (30b): the readout combines invariant h with a pooled view
+        # of the equivariant preference (its mean keeps dims fixed).
+        z_summary = z.mean(axis=-1, keepdims=True)  # (U, 1)
+        h_final = self.phi_u(Tensor.concat([h, z_summary], axis=-1)).tanh()
+        return h_final, z, g

@@ -1,0 +1,45 @@
+"""Generalized Advantage Estimation (Schulman et al., 2015)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compute_gae"]
+
+
+def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
+                gamma: float, lam: float, last_value: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """Compute GAE advantages and discounted return targets.
+
+    Parameters
+    ----------
+    rewards, values, dones:
+        Arrays of length T for one agent's trajectory.  ``dones[t]`` is
+        True when the episode terminates *after* step t.
+    last_value:
+        Bootstrap value of the state following the final step (0 for a
+        finished episode).
+
+    Returns
+    -------
+    (advantages, returns):
+        ``returns = advantages + values`` are the value-function targets
+        ``R̂_t`` of Eqn. (16).
+    """
+    rewards = np.asarray(rewards, dtype=float)
+    values = np.asarray(values, dtype=float)
+    dones = np.asarray(dones, dtype=bool)
+    if not (len(rewards) == len(values) == len(dones)):
+        raise ValueError("rewards, values and dones must share a length")
+
+    t_max = len(rewards)
+    advantages = np.zeros(t_max)
+    gae = 0.0
+    next_value = last_value
+    for t in reversed(range(t_max)):
+        nonterminal = 0.0 if dones[t] else 1.0
+        delta = rewards[t] + gamma * next_value * nonterminal - values[t]
+        gae = delta + gamma * lam * nonterminal * gae
+        advantages[t] = gae
+        next_value = values[t]
+    return advantages, advantages + values

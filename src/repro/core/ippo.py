@@ -1,0 +1,315 @@
+"""IPPO training loop (Algorithm 1 + Eqns. 2, 15, 16).
+
+The trainer is policy-agnostic: any UGV policy exposing
+``forward(list[UGVObservation]) -> output`` with ``.distribution`` /
+``.values`` and any UAV policy exposing
+``forward(list[UAVObservation]) -> (DiagGaussian, values)`` plugs in —
+GARL and every baseline share this loop, so performance comparisons
+isolate the architectural differences the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..env.airground import AirGroundEnv
+from ..env.metrics import MetricSnapshot
+from ..nn import Adam, Categorical, Tensor, clip_grad_norm, no_grad
+from .buffer import UAVRollout, UAVSample, UGVRollout, UGVSample
+from .config import PPOConfig
+
+__all__ = ["IPPOTrainer", "TrainRecord", "run_episode"]
+
+
+@dataclass
+class TrainRecord:
+    """Per-iteration training telemetry."""
+
+    iteration: int
+    metrics: dict[str, float]
+    ugv_reward: float
+    uav_reward: float
+    losses: dict[str, float] = field(default_factory=dict)
+
+
+def run_episode(env: AirGroundEnv, ugv_policy, uav_policy,
+                rng: np.random.Generator, greedy: bool = False,
+                ugv_rollout: UGVRollout | None = None,
+                uav_rollout: UAVRollout | None = None,
+                trace: list | None = None) -> MetricSnapshot:
+    """Roll one full episode; optionally record training data or a trace.
+
+    ``trace`` (if given) accumulates per-step position snapshots used by
+    the Fig. 7 trajectory experiment.
+    """
+    res = env.reset()
+    cfg = env.config
+    # Stateful policies (IC3Net's recurrent core) reset per episode.
+    for policy in (ugv_policy, uav_policy):
+        begin = getattr(policy, "begin_episode", None)
+        if begin is not None:
+            begin()
+    while True:
+        actionable = np.array([not g.is_waiting for g in env.ugvs])
+        with no_grad():
+            out = ugv_policy(res.ugv_observations)
+            dist = out.distribution
+            actions = dist.mode() if greedy else dist.sample(rng)
+            log_probs = dist.log_prob(actions).numpy()
+            values = out.values.numpy()
+
+        airborne = [v for v, o in enumerate(res.uav_observations) if o is not None]
+        uav_actions: list[np.ndarray | None] = [None] * cfg.num_uavs
+        uav_logp = np.zeros(cfg.num_uavs)
+        uav_values = np.zeros(cfg.num_uavs)
+        uav_obs_kept = {}
+        if airborne:
+            batch = [res.uav_observations[v] for v in airborne]
+            with no_grad():
+                gdist, gvalues = uav_policy(batch)
+                sampled = gdist.mode() if greedy else gdist.sample(rng)
+                logps = gdist.log_prob(sampled).numpy()
+            for i, v in enumerate(airborne):
+                uav_actions[v] = sampled[i] * cfg.uav_max_step
+                uav_logp[v] = logps[i]
+                uav_values[v] = gvalues.numpy()[i]
+                uav_obs_kept[v] = (batch[i], sampled[i])
+
+        if trace is not None:
+            trace.append({
+                "t": env.t,
+                "ugv_positions": np.array([g.position for g in env.ugvs]),
+                "uav_positions": np.array([u.position for u in env.uavs]),
+                "uav_airborne": np.array([u.airborne for u in env.uavs]),
+            })
+
+        prev_obs = res.ugv_observations
+        res = env.step(actions, uav_actions)
+
+        if ugv_rollout is not None:
+            ugv_rollout.add(prev_obs, actions, log_probs, values,
+                            res.ugv_rewards, actionable, res.done)
+        if uav_rollout is not None:
+            for v, (obs, raw_action) in uav_obs_kept.items():
+                uav_rollout.add(v, obs, raw_action, uav_logp[v], uav_values[v],
+                                float(res.uav_rewards[v]))
+                if res.uav_observations[v] is None:  # docked this step
+                    uav_rollout.close_flight(v)
+        if res.done:
+            break
+    if uav_rollout is not None:
+        uav_rollout.close_all()
+    return env.metrics()
+
+
+class IPPOTrainer:
+    """Collect-then-update IPPO driver shared by GARL and all baselines."""
+
+    def __init__(self, env: AirGroundEnv, ugv_policy, uav_policy,
+                 ppo: PPOConfig | None = None, seed: int = 0,
+                 lr_schedule=None, entropy_schedule=None):
+        self.env = env
+        self.ugv_policy = ugv_policy
+        self.uav_policy = uav_policy
+        self.ppo = ppo or PPOConfig()
+        self.rng = np.random.default_rng(seed)
+        self.ugv_optimizer = Adam(ugv_policy.parameters(), lr=self.ppo.lr)
+        self.uav_optimizer = Adam(uav_policy.parameters(), lr=self.ppo.lr)
+        self.history: list[TrainRecord] = []
+        # Optional annealing: schedules map training progress [0, 1] to a
+        # learning rate / entropy coefficient (see repro.core.schedules).
+        self.lr_schedule = lr_schedule
+        self.entropy_schedule = entropy_schedule
+        self._entropy_coef = self.ppo.entropy_coef
+
+    # ------------------------------------------------------------------
+    def collect(self, episodes: int = 1) -> tuple[list[UGVSample], list[UAVSample], MetricSnapshot, float, float]:
+        """Sample trajectories; returns flattened PPO samples + telemetry."""
+        cfg = self.env.config
+        ugv_samples: list[UGVSample] = []
+        uav_samples: list[UAVSample] = []
+        last_metrics: MetricSnapshot | None = None
+        total_ugv_reward = 0.0
+        total_uav_reward = 0.0
+        for _ in range(episodes):
+            ugv_roll = UGVRollout(cfg.num_ugvs)
+            uav_roll = UAVRollout(cfg.num_uavs)
+            last_metrics = run_episode(self.env, self.ugv_policy, self.uav_policy,
+                                       self.rng, greedy=False,
+                                       ugv_rollout=ugv_roll, uav_rollout=uav_roll)
+            total_ugv_reward += float(np.sum(ugv_roll.rewards))
+            uav_samples_ep = uav_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda)
+            total_uav_reward += float(sum(s.ret for s in uav_samples_ep if s.ret))
+            ugv_samples.extend(ugv_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda))
+            uav_samples.extend(uav_samples_ep)
+        assert last_metrics is not None
+        return ugv_samples, uav_samples, last_metrics, total_ugv_reward, total_uav_reward
+
+    # ------------------------------------------------------------------
+    def update_ugv(self, samples: list[UGVSample]) -> dict[str, float]:
+        """Clipped PPO update for the (shared) UGV policy."""
+        if not samples:
+            return {"ugv_policy_loss": 0.0, "ugv_value_loss": 0.0}
+        ppo = self.ppo
+        advantages = np.array([s.advantage for s in samples])
+        std = advantages.std()
+        mean = advantages.mean()
+        norm_adv = (advantages - mean) / (std + 1e-8)
+
+        policy_losses, value_losses = [], []
+        order = np.arange(len(samples))
+        for _ in range(ppo.epochs):
+            self.rng.shuffle(order)
+            for start in range(0, len(order), ppo.minibatch_size):
+                batch_idx = order[start:start + ppo.minibatch_size]
+                loss, pl, vl = self._ugv_minibatch_loss(samples, batch_idx, norm_adv)
+                self.ugv_optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.ugv_optimizer.params, ppo.max_grad_norm)
+                self.ugv_optimizer.step()
+                policy_losses.append(pl)
+                value_losses.append(vl)
+        return {"ugv_policy_loss": float(np.mean(policy_losses)),
+                "ugv_value_loss": float(np.mean(value_losses))}
+
+    def _ugv_minibatch_loss(self, samples: list[UGVSample], batch_idx: np.ndarray,
+                            norm_adv: np.ndarray) -> tuple[Tensor, float, float]:
+        """Forward each distinct timestep once; gather per-sample terms."""
+        ppo = self.ppo
+        groups: dict[int, list[int]] = {}
+        for i in batch_idx:
+            groups.setdefault(id(samples[i].joint_observations), []).append(int(i))
+
+        log_ratios, entropies, values, old_values = [], [], [], []
+        adv_list, ret_list, old_logp = [], [], []
+        aux_losses = []
+        aux_fn = getattr(self.ugv_policy, "auxiliary_loss", None)
+        for idxs in groups.values():
+            joint = samples[idxs[0]].joint_observations
+            out = self.ugv_policy(joint)
+            if aux_fn is not None:
+                aux_losses.append(aux_fn(joint))
+            actions = np.array([samples[i].action for i in idxs])
+            agents = np.array([samples[i].agent for i in idxs])
+            # Select the rows for the agents in this group, then their actions.
+            selected_logits = out.logits[agents]
+            sub_dist = Categorical(selected_logits)
+            logp = sub_dist.log_prob(actions)
+            ent = sub_dist.entropy()
+            val = out.values[agents]
+            log_ratios.append(logp)
+            entropies.append(ent)
+            values.append(val)
+            old_logp.extend(samples[i].log_prob for i in idxs)
+            old_values.extend(samples[i].value for i in idxs)
+            adv_list.extend(norm_adv[i] for i in idxs)
+            ret_list.extend(samples[i].ret for i in idxs)
+
+        logp = Tensor.concat(log_ratios, axis=0)
+        entropy = Tensor.concat(entropies, axis=0)
+        value = Tensor.concat(values, axis=0)
+        old_logp_arr = np.array(old_logp)
+        old_value_arr = np.array(old_values)
+        adv = np.array(adv_list)
+        ret = np.array(ret_list)
+
+        ratio = (logp - Tensor(old_logp_arr)).exp()
+        surr1 = ratio * Tensor(adv)
+        surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * Tensor(adv)
+        policy_loss = -Tensor.minimum(surr1, surr2).mean()
+
+        # Eqn. (16): pessimistic (max) of clipped and unclipped value errors.
+        v_clipped = Tensor(old_value_arr) + (value - Tensor(old_value_arr)).clip(
+            -ppo.value_clip, ppo.value_clip)
+        loss_unclipped = (value - Tensor(ret)) ** 2
+        loss_clipped = (v_clipped - Tensor(ret)) ** 2
+        value_loss = Tensor.maximum(loss_unclipped, loss_clipped).mean()
+
+        total = (policy_loss + ppo.value_coef * value_loss
+                 - self._entropy_coef * entropy.mean())
+        if aux_losses:
+            # Auxiliary objectives (e.g. AE-Comm's reconstruction loss).
+            total = total + Tensor.stack(aux_losses, axis=0).mean()
+        return total, float(policy_loss.item()), float(value_loss.item())
+
+    # ------------------------------------------------------------------
+    def update_uav(self, samples: list[UAVSample]) -> dict[str, float]:
+        """Clipped PPO update for the (shared) UAV policy."""
+        if not samples:
+            return {"uav_policy_loss": 0.0, "uav_value_loss": 0.0}
+        ppo = self.ppo
+        advantages = np.array([s.advantage for s in samples])
+        norm_adv = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        policy_losses, value_losses = [], []
+        order = np.arange(len(samples))
+        for _ in range(ppo.epochs):
+            self.rng.shuffle(order)
+            for start in range(0, len(order), ppo.minibatch_size):
+                idxs = order[start:start + ppo.minibatch_size]
+                batch = [samples[i] for i in idxs]
+                dist, value = self.uav_policy([s.observation for s in batch])
+                actions = np.stack([s.action for s in batch])
+                logp = dist.log_prob(actions)
+                ratio = (logp - Tensor(np.array([s.log_prob for s in batch]))).exp()
+                adv = Tensor(norm_adv[idxs])
+                surr1 = ratio * adv
+                surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv
+                policy_loss = -Tensor.minimum(surr1, surr2).mean()
+
+                ret = np.array([s.ret for s in batch])
+                old_value = np.array([s.value for s in batch])
+                v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
+                    -ppo.value_clip, ppo.value_clip)
+                value_loss = Tensor.maximum((value - Tensor(ret)) ** 2,
+                                            (v_clipped - Tensor(ret)) ** 2).mean()
+                entropy = dist.entropy().mean()
+
+                total = (policy_loss + ppo.value_coef * value_loss
+                         - self._entropy_coef * entropy)
+                self.uav_optimizer.zero_grad()
+                total.backward()
+                clip_grad_norm(self.uav_optimizer.params, ppo.max_grad_norm)
+                self.uav_optimizer.step()
+                policy_losses.append(float(policy_loss.item()))
+                value_losses.append(float(value_loss.item()))
+        return {"uav_policy_loss": float(np.mean(policy_losses)),
+                "uav_value_loss": float(np.mean(value_losses))}
+
+    # ------------------------------------------------------------------
+    def train(self, iterations: int, episodes_per_iteration: int = 1,
+              callback=None) -> list[TrainRecord]:
+        """Run M training iterations (Algorithm 1's outer loop)."""
+        for iteration in range(iterations):
+            progress = iteration / max(1, iterations - 1)
+            if self.lr_schedule is not None:
+                lr = float(self.lr_schedule(progress))
+                self.ugv_optimizer.lr = lr
+                self.uav_optimizer.lr = lr
+            if self.entropy_schedule is not None:
+                self._entropy_coef = float(self.entropy_schedule(progress))
+            ugv_samples, uav_samples, metrics, ugv_r, uav_r = self.collect(episodes_per_iteration)
+            losses = {}
+            losses.update(self.update_ugv(ugv_samples))
+            losses.update(self.update_uav(uav_samples))
+            for policy in (self.ugv_policy, self.uav_policy):
+                post = getattr(policy, "post_update", None)
+                if post is not None:
+                    post()
+            record = TrainRecord(iteration, metrics.as_dict(), ugv_r, uav_r, losses)
+            self.history.append(record)
+            if callback is not None:
+                callback(record)
+        return self.history
+
+    def evaluate(self, episodes: int = 1, greedy: bool = True) -> MetricSnapshot:
+        """Average metrics over greedy evaluation episodes."""
+        totals = np.zeros(4)
+        for _ in range(episodes):
+            snap = run_episode(self.env, self.ugv_policy, self.uav_policy,
+                               self.rng, greedy=greedy)
+            totals += np.array([snap.psi, snap.xi, snap.zeta, snap.beta])
+        psi, xi, zeta, beta = totals / episodes
+        return MetricSnapshot(float(psi), float(xi), float(zeta), float(beta))

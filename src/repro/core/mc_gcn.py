@@ -1,0 +1,132 @@
+"""MC-GCN: multi-center attention graph convolution (Section IV-B).
+
+Each UGV is a *positive* centre of the stop graph and every other UGV a
+*negative* centre.  Two feature families combine:
+
+* structure-related (Eqns. 18-20): thresholded shortest-path reciprocals,
+  with the mean of the other UGVs' correlations subtracted;
+* node-related (Eqn. 21): bilinear attention of each stop against the
+  stop currently occupied by each UGV, again centre-subtracted.
+
+Their softmax-normalised product (Eqn. 21c) re-weights each GCN layer's
+propagation (Eqn. 22); a linear readout pools the top layer (Eqn. 23).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..maps.stop_graph import StopGraph
+from ..nn import GCNLayer, Linear, Module, Parameter, Tensor, normalized_laplacian
+from ..nn.init import xavier_uniform
+from .config import GARLConfig
+
+__all__ = ["MCGCN", "multi_center_structural_feature"]
+
+
+def multi_center_structural_feature(correlation: np.ndarray, own_stop: int,
+                                    other_stops: np.ndarray) -> np.ndarray:
+    """Eqn. (18): own structural correlation minus the mean of the others'.
+
+    Parameters
+    ----------
+    correlation:
+        ``(B, B)`` matrix of ``s(b, b')`` values (Eqn. 20).
+    own_stop:
+        The UGV's current stop ``b_t^u``.
+    other_stops:
+        Current stops of the *other* UGVs (may be empty).
+    """
+    own = correlation[own_stop]
+    others = np.asarray(other_stops, dtype=int)
+    if others.size == 0:
+        return own.copy()
+    return own - correlation[others].mean(axis=0)
+
+
+class MCGCN(Module):
+    """Multi-center attention-based GCN over the UGV stop graph.
+
+    ``forward`` maps one UGV's observation to (node features ``H`` of the
+    top layer, pooled UGV-specific feature ``h̃``) — the node features are
+    reused by the policy head for per-stop action scores.
+
+    With ``config.use_mc_gcn`` False the module degrades to a plain GCN
+    (no attention, no centre subtraction), which is the "w/o MC" ablation
+    of Table III.
+    """
+
+    def __init__(self, stops: StopGraph, config: GARLConfig,
+                 in_features: int = 3, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(config.seed)
+        self.config = config
+        self.num_stops = stops.num_stops
+        self.laplacian = normalized_laplacian(stops.adjacency_matrix())
+        self.correlation = stops.structural_correlation(config.structural_q)
+
+        dim = config.hidden_dim
+        dims = [in_features] + [dim] * config.mc_gcn_layers
+        self.gcn_layers = [GCNLayer(a, b, rng=rng, activation="tanh")
+                           for a, b in zip(dims[:-1], dims[1:])]
+        # W_1 of Eqn. (21a), one per layer (bilinear attention).
+        self.attn_weights = [Parameter(xavier_uniform((a, a), rng)) for a in dims[:-1]]
+        # phi_H of Eqn. (23): linear readout of the pooled top layer.
+        self.readout = Linear(2 * dim, dim, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _attention(self, h: Tensor, layer_idx: int, own_stop: int,
+                   other_stops: np.ndarray, structural: np.ndarray) -> Tensor:
+        """Eqn. (21): multi-center node attention weights C (shape (B,))."""
+        w1 = self.attn_weights[layer_idx]
+        hw = h @ w1  # (B, F)
+        own_vec = h[int(own_stop)]  # (F,)
+        f_own = hw @ own_vec  # (B,)
+        if other_stops.size:
+            f_others = [hw @ h[int(b)] for b in other_stops]
+            mean_others = Tensor.stack(f_others, axis=0).mean(axis=0)
+            node_feature = f_own - mean_others
+        else:
+            node_feature = f_own
+        combined = Tensor(structural) * node_feature
+        return combined.softmax(axis=-1)
+
+    def forward(self, stop_features: np.ndarray, own_stop: int,
+                other_stops: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Run the multi-center GCN for one UGV.
+
+        Parameters
+        ----------
+        stop_features:
+            ``X̂_t^{B,u}`` — the masked (B, 3) stop tensor from the
+            observation (Eqn. 9).
+        own_stop:
+            ``b_t^u``, the UGV's current stop.
+        other_stops:
+            Stops of all other UGVs (negative centres).
+
+        Returns
+        -------
+        (H, h̃):
+            Top-layer node features ``(B, hidden)`` and the pooled
+            UGV-specific feature ``(hidden,)``.
+        """
+        other_stops = np.asarray(other_stops, dtype=int)
+        h = Tensor(np.asarray(stop_features, dtype=float))
+        use_mc = self.config.use_mc_gcn
+        structural = (multi_center_structural_feature(self.correlation, own_stop, other_stops)
+                      if use_mc else None)
+
+        for idx, layer in enumerate(self.gcn_layers):
+            if use_mc:
+                attention = self._attention(h, idx, own_stop, other_stops, structural)
+                propagated = layer(h, self.laplacian)
+                # Eqn. (22): per-node attention rescales the propagation.
+                h = attention.reshape(-1, 1) * propagated
+            else:
+                h = layer(h, self.laplacian)
+
+        pooled_mean = h.mean(axis=0)
+        pooled_own = h[int(own_stop)]
+        readout = self.readout(Tensor.concat([pooled_mean, pooled_own], axis=0))
+        return h, readout.tanh()

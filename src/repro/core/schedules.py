@@ -1,0 +1,67 @@
+"""Hyperparameter schedules (learning rate / entropy annealing).
+
+PPO practice anneals the learning rate and entropy bonus over training;
+the paper does not specify its schedule, so these are opt-in.  A schedule
+maps training *progress* in [0, 1] to a value.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ConstantSchedule", "LinearSchedule", "CosineSchedule", "ExponentialSchedule"]
+
+
+class _Schedule:
+    def __call__(self, progress: float) -> float:
+        if not 0.0 <= progress <= 1.0:
+            raise ValueError(f"progress must be in [0, 1], got {progress}")
+        return self._value(progress)
+
+    def _value(self, progress: float) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(_Schedule):
+    """Always returns ``value``."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def _value(self, progress: float) -> float:
+        return self.value
+
+
+class LinearSchedule(_Schedule):
+    """Linear interpolation from ``start`` (progress 0) to ``end`` (1)."""
+
+    def __init__(self, start: float, end: float):
+        self.start = start
+        self.end = end
+
+    def _value(self, progress: float) -> float:
+        return self.start + (self.end - self.start) * progress
+
+
+class CosineSchedule(_Schedule):
+    """Cosine decay from ``start`` to ``end``."""
+
+    def __init__(self, start: float, end: float):
+        self.start = start
+        self.end = end
+
+    def _value(self, progress: float) -> float:
+        return self.end + (self.start - self.end) * 0.5 * (1.0 + math.cos(math.pi * progress))
+
+
+class ExponentialSchedule(_Schedule):
+    """Exponential decay ``start * (end/start)^progress`` (start, end > 0)."""
+
+    def __init__(self, start: float, end: float):
+        if start <= 0 or end <= 0:
+            raise ValueError("exponential schedule needs positive endpoints")
+        self.start = start
+        self.end = end
+
+    def _value(self, progress: float) -> float:
+        return self.start * (self.end / self.start) ** progress

@@ -1,0 +1,35 @@
+"""``repro.env`` — the air-ground spatial-crowdsourcing simulator."""
+
+from .airground import AirGroundEnv, StepResult
+from .config import EnvConfig
+from .entities import UAV, UGV, Sensor
+from .events import Event, EventLog
+from .metrics import (
+    MetricSnapshot,
+    collection_ratio,
+    cooperation_factor,
+    efficiency,
+    energy_ratio,
+    jain_fairness,
+)
+from .observation import ObservationBuilder, UAVObservation, UGVObservation
+
+__all__ = [
+    "AirGroundEnv",
+    "StepResult",
+    "EnvConfig",
+    "Sensor",
+    "UGV",
+    "UAV",
+    "Event",
+    "EventLog",
+    "MetricSnapshot",
+    "collection_ratio",
+    "jain_fairness",
+    "cooperation_factor",
+    "energy_ratio",
+    "efficiency",
+    "ObservationBuilder",
+    "UGVObservation",
+    "UAVObservation",
+]

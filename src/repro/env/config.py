@@ -1,0 +1,92 @@
+"""Environment configuration with the paper's Section V-A defaults.
+
+All physical constants come straight from the paper:
+
+* 30 s timeslots; sensor data 1-1.5 GB; UAV max speed 12 km/h
+  (=> 100 m/slot); initial UAV energy 10 kJ; movement cost 0.01 kJ/m;
+  sensing range 60 m; collection rate 166.7 Mbps (=> 0.625 GB/slot);
+  stops every 100 m; UGV max travel 400 m/slot (48 km/h).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["EnvConfig"]
+
+
+@dataclass(frozen=True)
+class EnvConfig:
+    """All tunables of the air-ground SC simulation.
+
+    The defaults reproduce the paper's setting; tests and smoke-scale
+    benchmarks override ``num_ugvs``/``num_uavs_per_ugv``/``episode_len``.
+    """
+
+    # -- coalition ------------------------------------------------------
+    num_ugvs: int = 4
+    num_uavs_per_ugv: int = 2
+
+    # -- task duration --------------------------------------------------
+    episode_len: int = 100
+    timeslot_seconds: float = 30.0
+
+    # -- data -----------------------------------------------------------
+    sensor_data_min: float = 1.0  # GB
+    sensor_data_max: float = 1.5  # GB
+    collect_rate: float = 0.625  # GB per timeslot per sensor (166.7 Mbps)
+    sensing_range: float = 60.0  # metres
+
+    # -- UAV ------------------------------------------------------------
+    uav_max_step: float = 100.0  # metres per timeslot (12 km/h)
+    uav_energy: float = 10.0  # kJ, e_0
+    energy_per_metre: float = 0.01  # kJ/m, eta
+    release_duration: int = 4  # t_rls, timeslots UAVs stay airborne
+    crash_penalty: float = 1.0  # magnitude of r^{v-}
+
+    # -- UGV ------------------------------------------------------------
+    stop_interval: float = 100.0  # metres between stops
+    ugv_max_step: float = 400.0  # metres per timeslot (48 km/h)
+    stop_coverage_radius: float = 200.0  # metres, defines d_t^b per Eqn. (8)
+    ugv_observe_radius: float = 300.0  # metres within which stop data refreshes
+
+    # -- observations ---------------------------------------------------
+    uav_obs_cell: float = 20.0  # metres per grid cell in the UAV crop
+    uav_obs_radius: int = 7  # cells; crop is (2r+1) x (2r+1)
+    mask_constant: float = -1.0  # masks unknown stop data (Eqn. 9b)
+
+    # -- reward ---------------------------------------------------------
+    reward_clip: float = 5.0  # epsilon_3 in Eqn. (13a)
+    epsilon: float = 1e-6  # small epsilon shared by Eqns. (4), (13)
+
+    def __post_init__(self) -> None:
+        if self.num_ugvs < 1:
+            raise ValueError("need at least one UGV")
+        if self.num_uavs_per_ugv < 1:
+            raise ValueError("need at least one UAV per UGV")
+        if self.episode_len < 1:
+            raise ValueError("episode_len must be positive")
+        if self.sensor_data_min <= 0 or self.sensor_data_max < self.sensor_data_min:
+            raise ValueError("invalid sensor data range")
+        if self.release_duration < 1:
+            raise ValueError("release_duration must be >= 1")
+        if self.uav_max_step <= 0 or self.ugv_max_step <= 0:
+            raise ValueError("step limits must be positive")
+
+    @property
+    def num_uavs(self) -> int:
+        """Total UAV count V = U * V'."""
+        return self.num_ugvs * self.num_uavs_per_ugv
+
+    @property
+    def uav_obs_size(self) -> int:
+        """Side length of the square UAV observation crop, in cells."""
+        return 2 * self.uav_obs_radius + 1
+
+    def with_coalition(self, num_ugvs: int, num_uavs_per_ugv: int) -> "EnvConfig":
+        """Copy with a different coalition size (the Fig. 3-6 sweeps)."""
+        return replace(self, num_ugvs=num_ugvs, num_uavs_per_ugv=num_uavs_per_ugv)
+
+    def replace(self, **kwargs) -> "EnvConfig":
+        """Copy with arbitrary overrides."""
+        return replace(self, **kwargs)

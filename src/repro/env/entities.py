@@ -1,0 +1,148 @@
+"""Mutable simulation entities: sensors, UGVs and UAVs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Sensor", "UGV", "UAV"]
+
+
+@dataclass
+class Sensor:
+    """A data source attached to a building wall.
+
+    ``initial_data`` is ``d_0^p`` and ``remaining`` is ``d_t^p`` (GB).
+    """
+
+    index: int
+    position: np.ndarray
+    initial_data: float
+    remaining: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.initial_data <= 0:
+            raise ValueError("sensor must start with positive data")
+        self.position = np.asarray(self.position, dtype=float)
+        self.remaining = float(self.initial_data)
+
+    @property
+    def collected(self) -> float:
+        return self.initial_data - self.remaining
+
+    @property
+    def collected_ratio(self) -> float:
+        return self.collected / self.initial_data
+
+    def drain(self, amount: float) -> float:
+        """Remove up to ``amount`` GB; returns what was actually taken."""
+        taken = min(amount, self.remaining)
+        self.remaining -= taken
+        return taken
+
+    def reset(self) -> None:
+        self.remaining = float(self.initial_data)
+
+
+@dataclass
+class UGV:
+    """A ground vehicle travelling the stop graph and carrying UAVs.
+
+    ``wait_timer`` > 0 means the UGV has released its UAVs and is holding
+    position until they return.
+    """
+
+    index: int
+    stop: int
+    position: np.ndarray
+    wait_timer: int = 0
+    releases: int = 0
+    distance_travelled: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+
+    @property
+    def is_waiting(self) -> bool:
+        return self.wait_timer > 0
+
+    def begin_release(self, duration: int) -> None:
+        if self.is_waiting:
+            raise RuntimeError(f"UGV {self.index} already has UAVs airborne")
+        self.wait_timer = duration
+        self.releases += 1
+
+    def tick_wait(self) -> bool:
+        """Advance the wait timer; returns True when the window just closed."""
+        if self.wait_timer == 0:
+            return False
+        self.wait_timer -= 1
+        return self.wait_timer == 0
+
+    def move_to(self, stop: int, position: np.ndarray, road_distance: float) -> None:
+        if self.is_waiting:
+            raise RuntimeError(f"UGV {self.index} cannot move while UAVs are airborne")
+        self.stop = stop
+        self.position = np.asarray(position, dtype=float)
+        self.distance_travelled += float(road_distance)
+
+
+@dataclass
+class UAV:
+    """An aerial vehicle docked on (or released from) a carrier UGV."""
+
+    index: int
+    carrier: int  # UGV index
+    position: np.ndarray
+    energy: float
+    max_energy: float
+    airborne: bool = False
+    # Per-flight bookkeeping for the cooperation factor zeta.
+    flight_collected: float = 0.0
+    releases: int = 0
+    effective_releases: int = 0
+    # Episode-level energy accounting for beta.
+    energy_spent: float = 0.0
+    energy_charged: float = 0.0
+    crashes: int = 0
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        if self.max_energy <= 0:
+            raise ValueError("UAV needs positive battery capacity")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.energy <= 0.0
+
+    def launch(self, position: np.ndarray) -> None:
+        if self.airborne:
+            raise RuntimeError(f"UAV {self.index} already airborne")
+        self.airborne = True
+        self.position = np.asarray(position, dtype=float)
+        self.flight_collected = 0.0
+        self.releases += 1
+
+    def fly(self, new_position: np.ndarray, metres: float, energy_per_metre: float) -> None:
+        if not self.airborne:
+            raise RuntimeError(f"UAV {self.index} cannot fly while docked")
+        cost = metres * energy_per_metre
+        self.position = np.asarray(new_position, dtype=float)
+        self.energy = max(0.0, self.energy - cost)
+        self.energy_spent += cost
+
+    def record_collection(self, amount: float) -> None:
+        self.flight_collected += amount
+
+    def dock(self, carrier_position: np.ndarray) -> None:
+        """Return to the carrier and recharge to full (paper's protocol)."""
+        if not self.airborne:
+            raise RuntimeError(f"UAV {self.index} is not airborne")
+        self.airborne = False
+        self.position = np.asarray(carrier_position, dtype=float)
+        if self.flight_collected > 0.0:
+            self.effective_releases += 1
+        refill = self.max_energy - self.energy
+        self.energy_charged += refill
+        self.energy = self.max_energy

@@ -1,0 +1,84 @@
+"""Task metrics of Section III-B: ψ, ξ, ζ, β and efficiency λ."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "collection_ratio",
+    "jain_fairness",
+    "cooperation_factor",
+    "energy_ratio",
+    "efficiency",
+    "MetricSnapshot",
+]
+
+
+def collection_ratio(initial: np.ndarray, remaining: np.ndarray) -> float:
+    """Eqn. (3): ψ = 1 - Σ d_T / Σ d_0."""
+    initial = np.asarray(initial, dtype=float)
+    remaining = np.asarray(remaining, dtype=float)
+    total = initial.sum()
+    if total <= 0:
+        raise ValueError("initial data must be positive")
+    return float(1.0 - remaining.sum() / total)
+
+
+def jain_fairness(initial: np.ndarray, remaining: np.ndarray, eps: float = 1e-6) -> float:
+    """Eqn. (4): Jain's fairness index over per-sensor collected ratios."""
+    initial = np.asarray(initial, dtype=float)
+    remaining = np.asarray(remaining, dtype=float)
+    ratios = (initial - remaining) / initial
+    numerator = float(ratios.sum()) ** 2
+    denominator = len(ratios) * float((ratios**2).sum()) + eps
+    return float(numerator / denominator)
+
+
+def cooperation_factor(releases: np.ndarray, effective_releases: np.ndarray) -> float:
+    """Eqn. (5): ζ = Σ effective releases / Σ releases (0 when no releases)."""
+    total = float(np.asarray(releases, dtype=float).sum())
+    if total <= 0:
+        return 0.0
+    return float(np.asarray(effective_releases, dtype=float).sum() / total)
+
+
+def energy_ratio(energy_spent: float, initial_energy: float, energy_charged: float) -> float:
+    """Eqn. (6): β = Σ η δ / (Σ e_0 + Σ Δe)."""
+    denominator = initial_energy + energy_charged
+    if denominator <= 0:
+        raise ValueError("energy denominator must be positive")
+    return float(energy_spent / denominator)
+
+
+def efficiency(psi: float, xi: float, zeta: float, beta: float, eps: float = 1e-6) -> float:
+    """Eqn. (7): λ = ψ·ξ·ζ / β (guarded against β = 0 when nothing flew)."""
+    return float(psi * xi * zeta / max(beta, eps))
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """All five metrics at one point in time."""
+
+    psi: float
+    xi: float
+    zeta: float
+    beta: float
+
+    @property
+    def efficiency(self) -> float:
+        return efficiency(self.psi, self.xi, self.zeta, self.beta)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "psi": self.psi,
+            "xi": self.xi,
+            "zeta": self.zeta,
+            "beta": self.beta,
+            "efficiency": self.efficiency,
+        }
+
+    def __str__(self) -> str:
+        return (f"λ={self.efficiency:.4f} ψ={self.psi:.4f} ξ={self.xi:.4f} "
+                f"ζ={self.zeta:.4f} β={self.beta:.4f}")

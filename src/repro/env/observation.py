@@ -1,0 +1,195 @@
+"""Observation construction (Eqns. 9-11).
+
+``ObservationBuilder`` precomputes everything static (obstacle raster,
+sensor->stop coverage, stop reachability) and then stamps out per-agent
+observations each timeslot:
+
+* UGV — the masked stop-node tensor ``X̂_t^{B,u}`` plus all UGV positions
+  ``X_t^U`` and a feasibility mask over the B+1 discrete actions
+  (move-to-stop 0..B-1, release = B).
+* UAV — an egocentric multi-channel grid crop of the global state
+  (obstacles / remaining sensor data / other airborne UAVs) plus an
+  auxiliary vector (normalised position, energy fraction, time left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..maps.campus import CampusMap
+from ..maps.stop_graph import StopGraph
+from .config import EnvConfig
+from .entities import UAV, UGV, Sensor
+
+__all__ = ["UGVObservation", "UAVObservation", "ObservationBuilder"]
+
+
+@dataclass
+class UGVObservation:
+    """Observation ``o_t^u`` (Eqns. 9-10) for one UGV."""
+
+    agent_index: int
+    stop_features: np.ndarray  # (B, 3): x, y (normalised), masked d̂
+    ugv_positions: np.ndarray  # (U, 2), normalised
+    ugv_stops: np.ndarray  # (U,) current stop index of every UGV
+    action_mask: np.ndarray  # (B + 1,) boolean feasibility
+    current_stop: int
+
+    @property
+    def num_stops(self) -> int:
+        return len(self.stop_features)
+
+    def flat(self) -> np.ndarray:
+        """Flattened vector form, used by the MLP-style baselines."""
+        return np.concatenate([self.stop_features.ravel(), self.ugv_positions.ravel()])
+
+
+@dataclass
+class UAVObservation:
+    """Observation ``o_t^v`` (Eqn. 11) for one airborne UAV."""
+
+    agent_index: int
+    grid: np.ndarray  # (3, S, S): obstacles, sensor data, other UAVs
+    aux: np.ndarray  # (5,): x, y, energy fraction, window fraction, carrier dist
+
+    @property
+    def channels(self) -> int:
+        return self.grid.shape[0]
+
+
+class ObservationBuilder:
+    """Builds observations; owns the static rasters and coverage matrices."""
+
+    def __init__(self, campus: CampusMap, stops: StopGraph, config: EnvConfig):
+        self.campus = campus
+        self.stops = stops
+        self.config = config
+        self._extent = np.array([campus.width, campus.height])
+
+        # Obstacle raster covering the whole workzone.
+        cell = config.uav_obs_cell
+        self.grid_w = int(np.ceil(campus.width / cell))
+        self.grid_h = int(np.ceil(campus.height / cell))
+        self.obstacles = self._rasterize_buildings()
+
+        # Sensor cell coordinates for the data channel.
+        self.sensor_cells = np.floor(campus.sensor_positions / cell).astype(int)
+        self.sensor_cells[:, 0] = np.clip(self.sensor_cells[:, 0], 0, self.grid_w - 1)
+        self.sensor_cells[:, 1] = np.clip(self.sensor_cells[:, 1], 0, self.grid_h - 1)
+
+        # Coverage: which sensors count toward stop b's d_t^b (Eqn. 8).
+        deltas = (stops.positions[:, None, :] - campus.sensor_positions[None, :, :])
+        self.coverage = (np.hypot(deltas[..., 0], deltas[..., 1])
+                         <= config.stop_coverage_radius)  # (B, P)
+
+        # Stop reachability under the 400 m/slot budget, along roads.
+        metre = stops.metre_distances()
+        self.reachable = metre <= config.ugv_max_step  # (B, B) includes self
+
+        # Which stops a UGV at stop b can refresh information about.
+        stop_gaps = np.linalg.norm(
+            stops.positions[:, None, :] - stops.positions[None, :, :], axis=-1)
+        self.refresh = stop_gaps <= config.ugv_observe_radius  # (B, B)
+
+        self._norm_positions = stops.positions / self._extent
+
+    # ------------------------------------------------------------------
+    def _rasterize_buildings(self) -> np.ndarray:
+        """Binary obstacle raster (grid_h, grid_w) at cell-centre samples."""
+        cell = self.config.uav_obs_cell
+        raster = np.zeros((self.grid_h, self.grid_w), dtype=np.float64)
+        for building in self.campus.buildings:
+            box = building.bbox
+            c0 = max(0, int(box.min_x // cell))
+            c1 = min(self.grid_w - 1, int(box.max_x // cell))
+            r0 = max(0, int(box.min_y // cell))
+            r1 = min(self.grid_h - 1, int(box.max_y // cell))
+            for r in range(r0, r1 + 1):
+                for c in range(c0, c1 + 1):
+                    centre = ((c + 0.5) * cell, (r + 0.5) * cell)
+                    if building.contains(centre):
+                        raster[r, c] = 1.0
+        return raster
+
+    # ------------------------------------------------------------------
+    def stop_data(self, remaining: np.ndarray) -> np.ndarray:
+        """d_t^b for every stop: data collectible around that stop (Eqn. 8)."""
+        return self.coverage @ np.asarray(remaining, dtype=float)
+
+    def data_scale(self, initial: np.ndarray) -> float:
+        """Normalisation constant for stop data channels."""
+        per_stop = self.stop_data(initial)
+        return float(max(per_stop.max(), 1e-9))
+
+    def ugv_observation(self, agent: int, ugvs: list[UGV], last_seen: np.ndarray,
+                        seen_mask: np.ndarray, data_scale: float) -> UGVObservation:
+        """Assemble ``o_t^u`` using the UGV's stale per-stop memory."""
+        cfg = self.config
+        b = self.stops.num_stops
+        features = np.empty((b, 3))
+        features[:, :2] = self._norm_positions
+        masked = np.where(seen_mask, last_seen / data_scale, cfg.mask_constant)
+        features[:, 2] = masked
+
+        positions = np.array([u.position for u in ugvs]) / self._extent
+        stops = np.array([u.stop for u in ugvs], dtype=int)
+
+        mask = np.zeros(b + 1, dtype=bool)
+        mask[:b] = self.reachable[ugvs[agent].stop]
+        mask[ugvs[agent].stop] = True  # staying put is always allowed
+        mask[b] = True  # releasing is always allowed when the UGV acts
+        return UGVObservation(agent, features, positions, stops, mask, ugvs[agent].stop)
+
+    # ------------------------------------------------------------------
+    def global_rasters(self, sensors: list[Sensor], uavs: list[UAV],
+                       data_scale_per_sensor: float) -> tuple[np.ndarray, np.ndarray]:
+        """Dynamic channels shared by all UAV crops this timeslot."""
+        data = np.zeros_like(self.obstacles)
+        remaining = np.array([s.remaining for s in sensors])
+        np.add.at(data, (self.sensor_cells[:, 1], self.sensor_cells[:, 0]),
+                  remaining / data_scale_per_sensor)
+        presence = np.zeros_like(self.obstacles)
+        cell = self.config.uav_obs_cell
+        for uav in uavs:
+            if uav.airborne:
+                c = int(np.clip(uav.position[0] // cell, 0, self.grid_w - 1))
+                r = int(np.clip(uav.position[1] // cell, 0, self.grid_h - 1))
+                presence[r, c] += 1.0
+        return data, presence
+
+    def uav_observation(self, uav: UAV, carrier: UGV, window_left: int,
+                        data_raster: np.ndarray, presence_raster: np.ndarray) -> UAVObservation:
+        """Egocentric crop around the UAV (Eqn. 11)."""
+        cfg = self.config
+        cell = cfg.uav_obs_cell
+        radius = cfg.uav_obs_radius
+        size = cfg.uav_obs_size
+        cx = int(np.clip(uav.position[0] // cell, 0, self.grid_w - 1))
+        cy = int(np.clip(uav.position[1] // cell, 0, self.grid_h - 1))
+
+        grid = np.zeros((3, size, size))
+        r0, r1 = cy - radius, cy + radius + 1
+        c0, c1 = cx - radius, cx + radius + 1
+        rr0, cc0 = max(r0, 0), max(c0, 0)
+        rr1, cc1 = min(r1, self.grid_h), min(c1, self.grid_w)
+        dst_r0, dst_c0 = rr0 - r0, cc0 - c0
+        dst_r1, dst_c1 = dst_r0 + (rr1 - rr0), dst_c0 + (cc1 - cc0)
+        # Outside the workzone counts as obstacle.
+        grid[0].fill(1.0)
+        grid[0, dst_r0:dst_r1, dst_c0:dst_c1] = self.obstacles[rr0:rr1, cc0:cc1]
+        grid[1, dst_r0:dst_r1, dst_c0:dst_c1] = data_raster[rr0:rr1, cc0:cc1]
+        grid[2, dst_r0:dst_r1, dst_c0:dst_c1] = presence_raster[rr0:rr1, cc0:cc1]
+        # Remove self from the presence channel.
+        grid[2, radius, radius] = max(0.0, grid[2, radius, radius] - 1.0)
+
+        carrier_gap = float(np.linalg.norm(uav.position - carrier.position))
+        aux = np.array([
+            uav.position[0] / self.campus.width,
+            uav.position[1] / self.campus.height,
+            uav.energy / uav.max_energy,
+            window_left / max(cfg.release_duration, 1),
+            carrier_gap / max(self.campus.width, self.campus.height),
+        ])
+        return UAVObservation(uav.index, grid, aux)

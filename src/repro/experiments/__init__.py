@@ -1,0 +1,61 @@
+"""``repro.experiments`` — the Section-V evaluation harness."""
+
+from .paper_values import QUALITATIVE_CLAIMS, TABLE2, TABLE3, TABLE4
+from .presets import PRESETS, ScalePreset, get_preset
+from .records import ResultRecord, load_records, save_records
+from .runner import build_env, campus_cache_clear, get_campus, method_seed, run_method
+from .stats import AggregateResult, aggregate_records, bootstrap_ci, run_method_seeds
+from .telemetry import MovingAverage, TrainingLogger, read_jsonl_log
+from .sweeps import (
+    ablation_study,
+    coalition_sweep,
+    complexity_study,
+    layer_sweep,
+    trajectory_statistics,
+    trajectory_study,
+)
+from .tables import (
+    coalition_series,
+    format_ablation,
+    format_coalition_series,
+    format_complexity,
+    format_layer_sweep,
+    format_trajectory_stats,
+)
+
+__all__ = [
+    "ScalePreset",
+    "PRESETS",
+    "get_preset",
+    "ResultRecord",
+    "save_records",
+    "load_records",
+    "run_method",
+    "method_seed",
+    "run_method_seeds",
+    "AggregateResult",
+    "aggregate_records",
+    "bootstrap_ci",
+    "TrainingLogger",
+    "MovingAverage",
+    "read_jsonl_log",
+    "build_env",
+    "get_campus",
+    "campus_cache_clear",
+    "layer_sweep",
+    "ablation_study",
+    "coalition_sweep",
+    "complexity_study",
+    "trajectory_study",
+    "trajectory_statistics",
+    "format_layer_sweep",
+    "format_ablation",
+    "format_coalition_series",
+    "format_complexity",
+    "format_trajectory_stats",
+    "coalition_series",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "QUALITATIVE_CLAIMS",
+]

@@ -1,0 +1,62 @@
+"""Reference numbers published in the paper, for shape comparison.
+
+Absolute values are not expected to match (different compute scale,
+synthetic campuses); the benchmarks compare *orderings and trends*
+against these references and EXPERIMENTS.md records both sides.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE2", "TABLE3", "TABLE4", "QUALITATIVE_CLAIMS"]
+
+# Table II — efficiency λ vs layer counts (U=4, V'=2).
+TABLE2 = {
+    "kaist": {
+        "mc": {1: 0.8280, 2: 0.9211, 3: 0.9970, 4: 0.9760, 5: 0.8665},
+        "e": {1: 0.7215, 2: 0.9064, 3: 0.9970, 4: 0.9852, 5: 0.9487},
+    },
+    "ucla": {
+        # UCLA λ rows (paper prints ψ/ξ/ζ/β; its λ row peaks at 3 as well —
+        # 0.6137 at L=3 per Table III's UCLA GARL row).
+        "mc": {3: 0.6137},
+        "e": {3: 0.6137},
+    },
+}
+
+# Table III — ablation (U=4, V'=2): λ, ψ, ξ, ζ, β.
+TABLE3 = {
+    "kaist": {
+        "garl": {"efficiency": 0.9970, "psi": 0.6198, "xi": 0.6391, "zeta": 0.6760, "beta": 0.2786},
+        "garl_wo_mc": {"efficiency": 0.7036, "psi": 0.4952, "xi": 0.5205, "zeta": 0.6575, "beta": 0.2530},
+        "garl_wo_e": {"efficiency": 0.8119, "psi": 0.5303, "xi": 0.5548, "zeta": 0.6760, "beta": 0.2573},
+        "garl_wo_mc_e": {"efficiency": 0.5810, "psi": 0.4478, "xi": 0.4742, "zeta": 0.6269, "beta": 0.2470},
+    },
+    "ucla": {
+        "garl": {"efficiency": 0.6137, "psi": 0.4511, "xi": 0.4667, "zeta": 0.7244, "beta": 0.2613},
+        "garl_wo_mc": {"efficiency": 0.4114, "psi": 0.3553, "xi": 0.3799, "zeta": 0.7039, "beta": 0.2426},
+        "garl_wo_e": {"efficiency": 0.5080, "psi": 0.3721, "xi": 0.3898, "zeta": 0.7163, "beta": 0.2123},
+        "garl_wo_mc_e": {"efficiency": 0.3396, "psi": 0.3200, "xi": 0.3343, "zeta": 0.7033, "beta": 0.2356},
+    },
+}
+
+# Table IV — per-step time cost (ms) and GPU memory (MB).
+TABLE4 = {
+    "garl": {"kaist_ms": 0.553, "ucla_ms": 1.121, "kaist_mb": 935, "ucla_mb": 937},
+    "gam": {"kaist_ms": 0.66, "ucla_ms": 1.167, "kaist_mb": 939, "ucla_mb": 945},
+    "gat": {"kaist_ms": 0.493, "ucla_ms": 0.552, "kaist_mb": 813, "ucla_mb": 841},
+    "cubicmap": {"kaist_ms": 1.023, "ucla_ms": 2.417, "kaist_mb": 1348, "ucla_mb": 1506},
+    "aecomm": {"kaist_ms": 0.552, "ucla_ms": 0.786, "kaist_mb": 907, "ucla_mb": 943},
+    "dgn": {"kaist_ms": 0.379, "ucla_ms": 0.523, "kaist_mb": 935, "ucla_mb": 937},
+    "ic3net": {"kaist_ms": 0.688, "ucla_ms": 0.892, "kaist_mb": 975, "ucla_mb": 997},
+    "maddpg": {"kaist_ms": 2.108, "ucla_ms": 3.892, "kaist_mb": 805, "ucla_mb": 836},
+}
+
+QUALITATIVE_CLAIMS = [
+    "GARL outperforms all eight baselines on efficiency in both campuses.",
+    "Efficiency vs U rises then falls (peak ~15 KAIST / ~20 UCLA at paper scale).",
+    "Cooperation factor decreases as U grows and as V' grows.",
+    "Ablation ordering: GARL > GARL w/o E > GARL w/o MC > GARL w/o MC,E.",
+    "Three MC-GCN layers and three E-Comm layers are optimal (Table II).",
+    "Random barely changes across V' sweeps; learned methods rise then fall.",
+    "KAIST outperforms UCLA at small coalitions for every spatial method.",
+]

@@ -1,0 +1,44 @@
+"""Result records and JSON persistence for experiment outputs."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["ResultRecord", "save_records", "load_records"]
+
+
+@dataclass
+class ResultRecord:
+    """One (method, campus, configuration) measurement."""
+
+    method: str
+    campus: str
+    num_ugvs: int
+    num_uavs_per_ugv: int
+    metrics: dict[str, float]
+    seed: int = 0
+    preset: str = "smoke"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def efficiency(self) -> float:
+        return self.metrics.get("efficiency", 0.0)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def save_records(records: list[ResultRecord], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump([r.as_dict() for r in records], fh, indent=2)
+    return path
+
+
+def load_records(path: str | Path) -> list[ResultRecord]:
+    with open(path) as fh:
+        raw = json.load(fh)
+    return [ResultRecord(**item) for item in raw]

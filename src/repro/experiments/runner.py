@@ -1,0 +1,80 @@
+"""Train-and-evaluate driver producing :class:`ResultRecord` rows."""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+import numpy as np
+
+from ..baselines.registry import make_agent
+from ..core.config import GARLConfig
+from ..env.airground import AirGroundEnv
+from ..maps.campus import CampusMap, build_campus
+from ..maps.stop_graph import StopGraph, build_stop_graph
+from .presets import ScalePreset, get_preset
+from .records import ResultRecord
+
+__all__ = ["run_method", "build_env", "campus_cache_clear", "get_campus"]
+
+# Campus construction is deterministic but not free; cache per (name, scale).
+_CAMPUS_CACHE: dict[tuple[str, float], tuple[CampusMap, StopGraph]] = {}
+
+
+def get_campus(name: str, scale: float) -> tuple[CampusMap, StopGraph]:
+    """Cached campus + stop graph (both are treated as immutable)."""
+    key = (name, scale)
+    if key not in _CAMPUS_CACHE:
+        campus = build_campus(name, scale=scale)
+        _CAMPUS_CACHE[key] = (campus, build_stop_graph(campus))
+    return _CAMPUS_CACHE[key]
+
+
+def campus_cache_clear() -> None:
+    _CAMPUS_CACHE.clear()
+
+
+def method_seed(method: str, seed: int) -> int:
+    """Derive a per-method seed so undertrained (near-uniform) policies do
+    not share identical sampling streams and collapse to one trajectory."""
+    return seed + (zlib.crc32(method.encode()) % 1000)
+
+
+def build_env(campus_name: str, preset: ScalePreset, num_ugvs: int,
+              num_uavs_per_ugv: int, seed: int = 0) -> AirGroundEnv:
+    campus, stops = get_campus(campus_name, preset.campus_scale)
+    env_cfg = preset.env_config(num_ugvs, num_uavs_per_ugv)
+    return AirGroundEnv(campus, env_cfg, stops=stops, seed=seed)
+
+
+def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke",
+               num_ugvs: int = 4, num_uavs_per_ugv: int = 2, seed: int = 0,
+               garl_config: GARLConfig | None = None,
+               train_iterations: int | None = None) -> ResultRecord:
+    """Train ``method`` on ``campus_name`` at ``preset`` scale and evaluate.
+
+    Evaluation samples stochastically (greedy=False): at smoke training
+    budgets the stochastic policy is the better-behaved estimator, and it
+    is how the paper's own evaluation episodes are rolled.
+    """
+    preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
+    config = (garl_config or preset_obj.garl_config()).replace(seed=method_seed(method, seed))
+    agent = make_agent(method, env, config)
+
+    iterations = (train_iterations if train_iterations is not None
+                  else preset_obj.train_iterations)
+    t_train = time.perf_counter()
+    agent.train(iterations, preset_obj.episodes_per_iteration)
+    train_seconds = time.perf_counter() - t_train
+
+    t_eval = time.perf_counter()
+    snapshot = agent.evaluate(episodes=preset_obj.eval_episodes, greedy=False)
+    eval_seconds = time.perf_counter() - t_eval
+
+    return ResultRecord(
+        method=method, campus=campus_name,
+        num_ugvs=num_ugvs, num_uavs_per_ugv=num_uavs_per_ugv,
+        metrics=snapshot.as_dict(), seed=seed, preset=preset_obj.name,
+        extra={"train_seconds": round(train_seconds, 3),
+               "eval_seconds": round(eval_seconds, 3)})

@@ -1,0 +1,88 @@
+"""Multi-seed aggregation and bootstrap confidence intervals.
+
+The paper reports single numbers; at this reproduction's CPU scale
+individual runs are noisy, so the harness can repeat every (method,
+configuration) over several seeds and report mean ± a bootstrap CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .records import ResultRecord
+
+__all__ = ["AggregateResult", "aggregate_records", "bootstrap_ci", "run_method_seeds"]
+
+_METRICS = ("efficiency", "psi", "xi", "zeta", "beta")
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean / std / CI of one metric over repeated runs."""
+
+    metric: str
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    def __str__(self) -> str:
+        return (f"{self.metric}: {self.mean:.4f} ± {self.std:.4f} "
+                f"[{self.ci_low:.4f}, {self.ci_high:.4f}] (n={self.n})")
+
+
+def bootstrap_ci(values, confidence: float = 0.95, resamples: int = 2000,
+                 seed: int = 0) -> tuple[float, float]:
+    """Percentile bootstrap CI of the mean."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if values.size == 1:
+        return float(values[0]), float(values[0])
+    rng = np.random.default_rng(seed)
+    draws = rng.choice(values, size=(resamples, values.size), replace=True)
+    means = draws.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)))
+
+
+def aggregate_records(records: list[ResultRecord],
+                      confidence: float = 0.95) -> dict[str, AggregateResult]:
+    """Aggregate repeated runs of the *same* configuration.
+
+    All records must share method/campus/coalition; differing seeds are
+    the repetitions being averaged.
+    """
+    if not records:
+        raise ValueError("no records to aggregate")
+    key = (records[0].method, records[0].campus,
+           records[0].num_ugvs, records[0].num_uavs_per_ugv)
+    for record in records:
+        other = (record.method, record.campus, record.num_ugvs, record.num_uavs_per_ugv)
+        if other != key:
+            raise ValueError(f"mixed configurations: {other} vs {key}")
+    out = {}
+    for metric in _METRICS:
+        values = np.array([r.metrics[metric] for r in records])
+        low, high = bootstrap_ci(values, confidence)
+        out[metric] = AggregateResult(metric, float(values.mean()),
+                                      float(values.std()), low, high, len(values))
+    return out
+
+
+def run_method_seeds(method: str, campus: str, preset, seeds,
+                     num_ugvs: int = 4, num_uavs_per_ugv: int = 2,
+                     **kwargs) -> tuple[list[ResultRecord], dict[str, AggregateResult]]:
+    """Run one configuration over several seeds; return records + aggregate."""
+    from .runner import run_method
+
+    records = [run_method(method, campus, preset, num_ugvs=num_ugvs,
+                          num_uavs_per_ugv=num_uavs_per_ugv, seed=int(s), **kwargs)
+               for s in seeds]
+    return records, aggregate_records(records)

@@ -1,0 +1,101 @@
+"""Formatting experiment results into the paper's table/figure layouts."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..baselines.registry import METHOD_LABELS
+from .records import ResultRecord
+
+__all__ = [
+    "format_layer_sweep",
+    "format_ablation",
+    "format_coalition_series",
+    "format_complexity",
+    "format_trajectory_stats",
+    "coalition_series",
+]
+
+_METRIC_ROWS = ("efficiency", "psi", "xi", "zeta", "beta")
+_METRIC_NAMES = {"efficiency": "λ", "psi": "ψ", "xi": "ξ", "zeta": "ζ", "beta": "β"}
+
+
+def _label(method: str) -> str:
+    return METHOD_LABELS.get(method, method)
+
+
+def format_layer_sweep(records: list[ResultRecord], which: str) -> str:
+    """Table II layout: metric rows x layer-count columns."""
+    by_layers = {r.extra["sweep"]["layers"]: r for r in records}
+    layers = sorted(by_layers)
+    header = f"{'metric':8s}" + "".join(f"  L{which.upper()}={n:<4d}" for n in layers)
+    lines = [header]
+    for metric in _METRIC_ROWS:
+        row = f"{_METRIC_NAMES[metric]:8s}"
+        for n in layers:
+            row += f"  {by_layers[n].metrics[metric]:<7.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_ablation(records: list[ResultRecord]) -> str:
+    """Table III layout: method rows, metric columns."""
+    header = f"{'method':16s}" + "".join(f"  {_METRIC_NAMES[m]:>7s}" for m in _METRIC_ROWS)
+    lines = [header]
+    for record in records:
+        row = f"{_label(record.method):16s}"
+        for metric in _METRIC_ROWS:
+            row += f"  {record.metrics[metric]:7.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def coalition_series(records: list[ResultRecord], axis: str,
+                     metric: str = "efficiency") -> dict[str, list[tuple[int, float]]]:
+    """Figs. 3-6 series: method -> [(x, metric)] along ``axis``."""
+    series: dict[str, list[tuple[int, float]]] = defaultdict(list)
+    for record in records:
+        sweep = record.extra.get("sweep", {})
+        if sweep.get("axis") != axis:
+            continue
+        series[record.method].append((sweep["value"], record.metrics[metric]))
+    return {m: sorted(points) for m, points in series.items()}
+
+
+def format_coalition_series(records: list[ResultRecord], axis: str,
+                            metric: str = "efficiency") -> str:
+    """Print one Fig. 3-6 panel as a text table (methods x sweep values)."""
+    series = coalition_series(records, axis, metric)
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    axis_name = "U" if axis == "ugvs" else "V'"
+    header = f"{'method':16s}" + "".join(f"  {axis_name}={x:<6d}" for x in xs)
+    lines = [f"metric: {_METRIC_NAMES.get(metric, metric)}", header]
+    for method, points in sorted(series.items()):
+        lookup = dict(points)
+        row = f"{_label(method):16s}"
+        for x in xs:
+            value = lookup.get(x)
+            row += f"  {value:<8.4f}" if value is not None else "  " + "-" * 8
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_complexity(rows: list[dict]) -> str:
+    """Table IV layout: per-step latency and parameter count per method."""
+    header = f"{'method':16s}  {'ms/step':>9s}  {'parameters':>11s}"
+    lines = [header]
+    for row in rows:
+        lines.append(f"{_label(row['method']):16s}  {row['ms_per_step']:9.3f}"
+                     f"  {row['parameters']:11d}")
+    return "\n".join(lines)
+
+
+def format_trajectory_stats(stats_by_method: dict[str, dict]) -> str:
+    """Fig. 7 quantification: coverage / overlap / travel per method."""
+    header = f"{'method':16s}  {'coverage':>9s}  {'overlap':>8s}  {'travel_m':>10s}"
+    lines = [header]
+    for method, payload in stats_by_method.items():
+        stats = payload["stats"] if "stats" in payload else payload
+        lines.append(f"{_label(method):16s}  {stats['coverage']:9.3f}"
+                     f"  {stats['overlap']:8.3f}  {stats['ugv_travel_metres']:10.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Training telemetry: JSONL/CSV logging and moving-average trackers.
+
+``TrainingLogger`` plugs into any agent's ``train(callback=...)`` hook and
+persists one line per iteration, so long runs can be inspected (or
+resumed decisions made) without holding histories in memory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import deque
+from pathlib import Path
+
+__all__ = ["TrainingLogger", "MovingAverage", "read_jsonl_log"]
+
+
+class MovingAverage:
+    """Fixed-window moving average with O(1) updates."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._values: deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    def update(self, value: float) -> float:
+        if len(self._values) == self.window:
+            self._sum -= self._values[0]
+        self._values.append(float(value))
+        self._sum += float(value)
+        return self.value
+
+    @property
+    def value(self) -> float:
+        if not self._values:
+            return 0.0
+        return self._sum / len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class TrainingLogger:
+    """Writes per-iteration training records to JSONL (and optional CSV).
+
+    Usage::
+
+        logger = TrainingLogger(run_dir / "train.jsonl")
+        agent.train(iterations=100, callback=logger)
+        print(logger.smoothed("efficiency"))
+    """
+
+    def __init__(self, jsonl_path: str | Path, csv_path: str | Path | None = None,
+                 window: int = 10):
+        self.jsonl_path = Path(jsonl_path)
+        self.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        self.csv_path = Path(csv_path) if csv_path else None
+        self._csv_writer = None
+        self._csv_file = None
+        self._averages: dict[str, MovingAverage] = {}
+        self.window = window
+        self.count = 0
+
+    # Both GARL's TrainRecord objects and MADDPG's plain dicts arrive here.
+    def __call__(self, record) -> None:
+        if hasattr(record, "metrics"):
+            payload = {"iteration": getattr(record, "iteration", self.count),
+                       **{f"metric_{k}": v for k, v in record.metrics.items()},
+                       **{f"loss_{k}": v for k, v in getattr(record, "losses", {}).items()}}
+        else:
+            payload = {"iteration": record.get("iteration", self.count)}
+            payload.update({f"metric_{k}": v for k, v in record.get("metrics", {}).items()})
+            payload.update({f"loss_{k}": v for k, v in record.get("losses", {}).items()})
+        self._write(payload)
+        self.count += 1
+
+    def _write(self, payload: dict) -> None:
+        with open(self.jsonl_path, "a") as fh:
+            fh.write(json.dumps(payload) + "\n")
+        if self.csv_path is not None:
+            first = not self.csv_path.exists()
+            with open(self.csv_path, "a", newline="") as fh:
+                writer = csv.DictWriter(fh, fieldnames=sorted(payload))
+                if first:
+                    writer.writeheader()
+                writer.writerow(payload)
+        for key, value in payload.items():
+            if key.startswith("metric_") and isinstance(value, (int, float)):
+                name = key[len("metric_"):]
+                self._averages.setdefault(name, MovingAverage(self.window)).update(value)
+
+    def smoothed(self, metric: str) -> float:
+        """Moving average of a metric over the last ``window`` iterations."""
+        if metric not in self._averages:
+            raise KeyError(f"no telemetry recorded for metric {metric!r}")
+        return self._averages[metric].value
+
+
+def read_jsonl_log(path: str | Path) -> list[dict]:
+    """Load a JSONL training log back into memory."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

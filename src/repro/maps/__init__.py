@@ -1,0 +1,41 @@
+"""``repro.maps`` — campus workzones, road networks and the UGV stop graph."""
+
+from .campus import CAMPUS_BUILDERS, CampusMap, build_campus, build_kaist, build_ucla, random_campus
+from .geometry import (
+    BoundingBox,
+    Polygon,
+    euclidean,
+    point_segment_distance,
+    rectangle,
+    regular_polygon,
+    segments_intersect,
+)
+from .io import campus_from_dict, campus_to_dict, load_campus, save_campus
+from .roads import grid_network, irregular_network, largest_component, total_road_length
+from .stop_graph import StopGraph, build_stop_graph
+
+__all__ = [
+    "CampusMap",
+    "build_campus",
+    "build_kaist",
+    "build_ucla",
+    "CAMPUS_BUILDERS",
+    "random_campus",
+    "Polygon",
+    "BoundingBox",
+    "euclidean",
+    "segments_intersect",
+    "point_segment_distance",
+    "rectangle",
+    "regular_polygon",
+    "grid_network",
+    "irregular_network",
+    "largest_component",
+    "total_road_length",
+    "StopGraph",
+    "build_stop_graph",
+    "campus_to_dict",
+    "campus_from_dict",
+    "save_campus",
+    "load_campus",
+]

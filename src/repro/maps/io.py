@@ -1,0 +1,109 @@
+"""Campus map (de)serialisation.
+
+The paper builds its campuses from OpenStreetMap extracts.  This module
+closes that data path for users: a :class:`CampusMap` round-trips through
+a simple JSON schema, so a real OSM extract (converted externally to this
+schema) can be dropped into the simulator in place of the synthetic
+generators.
+
+Schema (version 1)::
+
+    {
+      "version": 1,
+      "name": "kaist",
+      "width": 1539.63, "height": 1433.37,
+      "roads": {"nodes": [[x, y], ...], "edges": [[i, j], ...]},
+      "buildings": [[[x, y], ...], ...],        # vertex rings
+      "sensors": {"positions": [[x, y], ...], "buildings": [i, ...]}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+
+from .campus import CampusMap
+from .geometry import Polygon
+
+__all__ = ["campus_to_dict", "campus_from_dict", "save_campus", "load_campus"]
+
+SCHEMA_VERSION = 1
+
+
+def campus_to_dict(campus: CampusMap) -> dict:
+    """Serialise a campus to the JSON schema (plain Python types only)."""
+    nodes = sorted(campus.roads.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    return {
+        "version": SCHEMA_VERSION,
+        "name": campus.name,
+        "width": campus.width,
+        "height": campus.height,
+        "roads": {
+            "nodes": [list(map(float, campus.roads.nodes[n]["pos"])) for n in nodes],
+            "edges": [[index[u], index[v]] for u, v in campus.roads.edges()],
+        },
+        "buildings": [building.vertices.tolist() for building in campus.buildings],
+        "sensors": {
+            "positions": campus.sensor_positions.tolist(),
+            "buildings": campus.sensor_buildings.tolist(),
+        },
+    }
+
+
+def campus_from_dict(payload: dict) -> CampusMap:
+    """Build a campus from the JSON schema, validating shape constraints."""
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported campus schema version {version!r}")
+    width = float(payload["width"])
+    height = float(payload["height"])
+    if width <= 0 or height <= 0:
+        raise ValueError("campus extent must be positive")
+
+    roads = nx.Graph()
+    node_positions = payload["roads"]["nodes"]
+    for i, (x, y) in enumerate(node_positions):
+        roads.add_node(i, pos=(float(x), float(y)))
+    for u, v in payload["roads"]["edges"]:
+        if u == v:
+            raise ValueError("road edges may not be self-loops")
+        pu = np.asarray(roads.nodes[int(u)]["pos"])
+        pv = np.asarray(roads.nodes[int(v)]["pos"])
+        roads.add_edge(int(u), int(v), length=float(np.linalg.norm(pu - pv)))
+    if roads.number_of_nodes() == 0:
+        raise ValueError("campus needs at least one road node")
+
+    buildings = [Polygon(ring) for ring in payload["buildings"]]
+
+    sensors = np.asarray(payload["sensors"]["positions"], dtype=float)
+    hosts = np.asarray(payload["sensors"]["buildings"], dtype=int)
+    if sensors.ndim != 2 or sensors.shape[1] != 2:
+        raise ValueError("sensor positions must be (P, 2)")
+    if len(hosts) != len(sensors):
+        raise ValueError("sensor host list must match sensor count")
+    if buildings and hosts.size and (hosts.min() < 0 or hosts.max() >= len(buildings)):
+        raise ValueError("sensor host index out of range")
+
+    return CampusMap(str(payload["name"]), width, height, roads,
+                     buildings, sensors, hosts)
+
+
+def save_campus(campus: CampusMap, path: str | Path) -> Path:
+    """Write a campus as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(campus_to_dict(campus), fh)
+    return path
+
+
+def load_campus(path: str | Path) -> CampusMap:
+    """Read a campus from JSON written by :func:`save_campus` (or an
+    external converter emitting the same schema)."""
+    with open(path) as fh:
+        return campus_from_dict(json.load(fh))

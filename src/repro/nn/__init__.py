@@ -1,0 +1,67 @@
+"""``repro.nn`` — a from-scratch numpy neural-network substrate.
+
+The paper trained GARL with PyTorch on GPUs; this package provides the
+same building blocks (autograd tensors, dense/conv/recurrent/graph layers,
+Adam, PPO-style distributions) so the whole system runs offline on CPU.
+"""
+
+from . import functional
+from .attention import MultiHeadAttention, ScaledDotProductAttention, SelfAttentionBlock
+from .distributions import Categorical, DiagGaussian
+from .graph import GATLayer, GCNLayer, normalized_laplacian
+from .layers import (
+    MLP,
+    Conv2d,
+    Flatten,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
+from .recurrent import GRUCell, LSTMCell
+from .serialize import load_checkpoint, save_checkpoint
+from .tensor import Tensor, as_tensor, no_grad
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "Flatten",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Sequential",
+    "LayerNorm",
+    "MLP",
+    "LSTMCell",
+    "GRUCell",
+    "GCNLayer",
+    "GATLayer",
+    "normalized_laplacian",
+    "ScaledDotProductAttention",
+    "MultiHeadAttention",
+    "SelfAttentionBlock",
+    "Categorical",
+    "DiagGaussian",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "clip_grad_norm",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,39 @@
+"""Save/load model state to ``.npz`` checkpoint files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Serialise a module's parameters (plus optional JSON metadata)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = {f"param::{k}": v for k, v in state.items()}
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Load parameters into ``module``; returns the stored metadata."""
+    path = Path(path)
+    with np.load(path) as data:
+        state = {
+            key[len("param::"):]: data[key]
+            for key in data.files
+            if key.startswith("param::")
+        }
+        meta_bytes = bytes(data["__metadata__"]) if "__metadata__" in data.files else b"{}"
+    module.load_state_dict(state)
+    return json.loads(meta_bytes.decode("utf-8"))

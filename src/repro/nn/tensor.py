@@ -1,0 +1,621 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the ``repro.nn`` substrate: a small but
+complete autograd engine providing the same semantics PyTorch tensors would
+give the original GARL implementation.  Every differentiable operation
+records a backward closure; :meth:`Tensor.backward` runs a topological sort
+over the recorded graph and accumulates gradients.
+
+Design notes
+------------
+* Gradients are plain ``numpy.ndarray`` objects stored on ``Tensor.grad``.
+* Broadcasting follows numpy rules; :func:`_unbroadcast` sums gradients
+  back down to the shape of the input operand.
+* The engine is eager and single-threaded, which is all the reproduction
+  needs on CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph recording, like ``torch.no_grad``."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions that broadcasting added.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, array, scalar, nested list) to a Tensor."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Stored as ``float64`` unless
+        already a float dtype.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a graph-detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"]) -> "Tensor":
+        child = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            child.requires_grad = True
+            child._prev = tuple(parents)
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        self._accumulate(np.asarray(grad))
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data + other.data, (self, other))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad)
+            if other.requires_grad:
+                other._accumulate(out.grad)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data * other.data, (self, other))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * other.data)
+            if other.requires_grad:
+                other._accumulate(out.grad * self.data)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data / other.data, (self, other))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-out.grad * self.data / (other.data**2))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make_child(self.data**exponent, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data @ other.data, (self, other))
+
+        def _backward() -> None:
+            grad = out.grad
+            if self.requires_grad:
+                if other.data.ndim == 1 and self.data.ndim == 1:
+                    self._accumulate(grad * other.data)
+                elif other.data.ndim == 1:
+                    self._accumulate(np.expand_dims(grad, -1) * other.data)
+                elif self.data.ndim == 1:
+                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+                else:
+                    g = grad @ np.swapaxes(other.data, -1, -2)
+                    self._accumulate(_unbroadcast(g, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1 and other.data.ndim == 1:
+                    other._accumulate(grad * self.data)
+                elif self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad))
+                elif other.data.ndim == 1:
+                    g = np.swapaxes(self.data, -1, -2) @ np.expand_dims(grad, -1)
+                    other._accumulate(_unbroadcast(g.squeeze(-1), other.data.shape))
+                else:
+                    g = np.swapaxes(self.data, -1, -2) @ grad
+                    other._accumulate(_unbroadcast(g, other.data.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = self._make_child(np.exp(self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_child(np.log(self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        out = self._make_child(np.tanh(self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out.data**2))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(sig, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def relu(self) -> "Tensor":
+        out = self._make_child(np.maximum(self.data, 0.0), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (self.data > 0))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def leaky_relu(self, slope: float = 0.01) -> "Tensor":
+        out = self._make_child(np.where(self.data > 0, self.data, slope * self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * np.where(self.data > 0, 1.0, slope))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def abs(self) -> "Tensor":
+        out = self._make_child(np.abs(self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * np.sign(self.data))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient is passed through inside the active range."""
+        out = self._make_child(np.clip(self.data, low, high), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                mask = (self.data >= low) & (self.data <= high)
+                self._accumulate(out.grad * mask)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    grad = np.expand_dims(grad, a)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            maxval = out.data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    grad = np.expand_dims(grad, a)
+                    maxval = np.expand_dims(maxval, a)
+            mask = (self.data == maxval).astype(self.data.dtype)
+            # Split gradient evenly among ties, matching subgradient choice.
+            if axis is None:
+                denom = mask.sum()
+            else:
+                denom = mask.sum(axis=axis, keepdims=True)
+            self._accumulate(grad * mask / denom)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make_child(self.data.reshape(shape), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.data.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = self._make_child(self.data.transpose(axes), (self,))
+        inverse = np.argsort(axes)
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = self._make_child(np.expand_dims(self.data, axis), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(np.squeeze(out.grad, axis=axis))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        out = self._make_child(np.squeeze(self.data, axis=axis), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.data.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Composite ops
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        soft = exp / exp.sum(axis=axis, keepdims=True)
+        out = self._make_child(soft, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                s = out.data
+                g = out.grad
+                inner = (g * s).sum(axis=axis, keepdims=True)
+                self._accumulate(s * (g - inner))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = self._make_child(shifted - logsumexp, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                soft = np.exp(out.data)
+                g = out.grad
+                self._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def norm(self, axis=None, keepdims: bool = False, eps: float = 1e-12) -> "Tensor":
+        """L2 norm with a smooth epsilon to avoid NaN gradients at zero."""
+        return ((self * self).sum(axis=axis, keepdims=keepdims) + eps).sqrt()
+
+    # ------------------------------------------------------------------
+    # Static constructors / combinators
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        out = tensors[0]._make_child(data, tensors)
+
+        def _backward() -> None:
+            offset = 0
+            ax = axis % data.ndim
+            for t in tensors:
+                width = t.data.shape[ax]
+                slicer = [slice(None)] * data.ndim
+                slicer[ax] = slice(offset, offset + width)
+                if t.requires_grad:
+                    t._accumulate(out.grad[tuple(slicer)])
+                offset += width
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+        out = tensors[0]._make_child(data, tensors)
+
+        def _backward() -> None:
+            grads = np.moveaxis(out.grad, axis, 0)
+            for t, g in zip(tensors, grads):
+                if t.requires_grad:
+                    t._accumulate(g)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    @staticmethod
+    def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
+        a, b = as_tensor(a), as_tensor(b)
+        cond = np.asarray(condition, dtype=bool)
+        out = a._make_child(np.where(cond, a.data, b.data), (a, b))
+
+        def _backward() -> None:
+            if a.requires_grad:
+                a._accumulate(np.where(cond, out.grad, 0.0))
+            if b.requires_grad:
+                b._accumulate(np.where(cond, 0.0, out.grad))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    @staticmethod
+    def maximum(a: "Tensor", b: "Tensor") -> "Tensor":
+        a, b = as_tensor(a), as_tensor(b)
+        return Tensor.where(a.data >= b.data, a, b)
+
+    @staticmethod
+    def minimum(a: "Tensor", b: "Tensor") -> "Tensor":
+        a, b = as_tensor(a), as_tensor(b)
+        return Tensor.where(a.data <= b.data, a, b)

@@ -1,0 +1,9 @@
+"""``repro.viz`` — dependency-free SVG / ASCII rendering of campuses,
+trajectories (Fig. 7), line charts (Figs. 3-6) and data heatmaps."""
+
+from .charts import SERIES_COLOURS, line_chart
+from .render import ascii_heatmap, render_campus, render_trajectories
+from .svg import SVGCanvas
+
+__all__ = ["SVGCanvas", "render_campus", "render_trajectories",
+           "ascii_heatmap", "line_chart", "SERIES_COLOURS"]

@@ -1,0 +1,93 @@
+"""SVG line charts — regenerates the paper's Fig. 3-6 panels visually.
+
+No plotting dependency: builds on :class:`repro.viz.svg.SVGCanvas`'s
+pixel-space primitives.
+"""
+
+from __future__ import annotations
+
+from .svg import SVGCanvas
+
+__all__ = ["line_chart", "SERIES_COLOURS"]
+
+SERIES_COLOURS = ("#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e",
+                  "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf")
+
+
+def line_chart(series: dict[str, list[tuple[float, float]]], title: str = "",
+               x_label: str = "", y_label: str = "", pixels: int = 520,
+               height: int = 360) -> SVGCanvas:
+    """Render named (x, y) series as an SVG line chart with markers.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to sorted ``[(x, y), ...]`` points —
+        exactly what :func:`repro.experiments.coalition_series` returns.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("line_chart needs at least one non-empty series")
+
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(min(ys), 0.0), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    canvas = SVGCanvas(1.0, 1.0, pixels=pixels)
+    canvas.height = height  # chart area is managed in raw pixels
+    left, right, top, bottom = 56.0, 130.0, 34.0, 40.0
+    plot_w = pixels - left - right
+    plot_h = height - top - bottom
+
+    def px(x: float) -> float:
+        return left + (x - x_min) / (x_max - x_min) * plot_w
+
+    def py(y: float) -> float:
+        return top + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h
+
+    # Axes and gridlines.
+    canvas._elements.append(
+        f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#888" stroke-width="1"/>')
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y_val = y_min + frac * (y_max - y_min)
+        y_px = py(y_val)
+        canvas._elements.append(
+            f'<line x1="{left}" y1="{y_px:.1f}" x2="{left + plot_w}" '
+            f'y2="{y_px:.1f}" stroke="#ddd" stroke-width="0.6"/>')
+        canvas.text_px(6, y_px + 4, f"{y_val:.2f}", size_px=10)
+    for x in sorted({x for pts in series.values() for x, _ in pts}):
+        canvas.text_px(px(x) - 6, height - bottom + 16, f"{x:g}", size_px=10)
+
+    # Series.
+    for i, (name, points) in enumerate(sorted(series.items())):
+        if not points:
+            continue
+        colour = SERIES_COLOURS[i % len(SERIES_COLOURS)]
+        coords = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in points)
+        canvas._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{colour}" '
+            f'stroke-width="2"/>')
+        for x, y in points:
+            canvas._elements.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                f'fill="{colour}"/>')
+        # Legend entry.
+        ly = top + 14 + i * 16
+        lx = pixels - right + 8
+        canvas._elements.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{colour}" stroke-width="2"/>')
+        canvas.text_px(lx + 24, ly, name, size_px=11)
+
+    if title:
+        canvas.text_px(left, 18, title, size_px=13)
+    if x_label:
+        canvas.text_px(left + plot_w / 2 - 20, height - 6, x_label, size_px=11)
+    if y_label:
+        canvas.text_px(6, 16, y_label, size_px=11)
+    return canvas

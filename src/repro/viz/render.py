@@ -1,0 +1,93 @@
+"""Campus and trajectory rendering (the visual form of Fig. 1 and Fig. 7)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..env.airground import AirGroundEnv
+from ..maps.campus import CampusMap
+from .svg import SVGCanvas
+
+__all__ = ["render_campus", "render_trajectories", "ascii_heatmap"]
+
+# Distinct stroke colours per UGV, matching common qualitative palettes.
+UGV_COLOURS = ("#d62728", "#1f77b4", "#2ca02c", "#9467bd",
+               "#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f")
+
+
+def render_campus(campus: CampusMap, pixels: int = 800,
+                  stops=None, show_sensors: bool = True) -> SVGCanvas:
+    """Draw roads, buildings, sensors and (optionally) the stop graph."""
+    canvas = SVGCanvas(campus.width, campus.height, pixels=pixels)
+    for a, b in campus.road_edges():
+        canvas.line(a, b, stroke="#bbbbbb", width=3.0)
+    for building in campus.buildings:
+        canvas.polygon(building.vertices, fill="#8a8a8a", opacity=0.8)
+    if show_sensors:
+        for pos in campus.sensor_positions:
+            canvas.circle(pos, 2.5, fill="#2ca02c")
+    if stops is not None:
+        for pos in stops.positions:
+            canvas.circle(pos, 1.5, fill="#555555", opacity=0.7)
+    canvas.text_px(8, 14, f"{campus.name}  ({campus.width:.0f} x "
+                          f"{campus.height:.0f} m, {campus.num_sensors} sensors)")
+    return canvas
+
+
+def render_trajectories(env: AirGroundEnv, trace: list[dict],
+                        pixels: int = 800, title: str = "") -> SVGCanvas:
+    """Overlay a Fig.-7 style trace on the campus: UGV paths as solid
+    polylines (one colour per UGV), UAV flight points as small dots."""
+    canvas = render_campus(env.campus, pixels=pixels, stops=env.stops,
+                           show_sensors=True)
+    if not trace:
+        return canvas
+    num_ugvs = env.config.num_ugvs
+    ugv_paths = [[snap["ugv_positions"][u] for snap in trace] for u in range(num_ugvs)]
+    for u, path in enumerate(ugv_paths):
+        colour = UGV_COLOURS[u % len(UGV_COLOURS)]
+        canvas.polyline(path, stroke=colour, width=2.0, opacity=0.9)
+        canvas.circle(path[0], 4.0, fill=colour)  # start marker
+    for snap in trace:
+        airborne = snap["uav_airborne"]
+        for v, position in enumerate(snap["uav_positions"]):
+            if airborne[v]:
+                carrier = v // env.config.num_uavs_per_ugv
+                colour = UGV_COLOURS[carrier % len(UGV_COLOURS)]
+                canvas.circle(position, 1.2, fill=colour, opacity=0.45)
+    if title:
+        canvas.text_px(8, 30, title, size_px=13.0, fill="#222")
+    return canvas
+
+
+def ascii_heatmap(values: np.ndarray, width: int = 40) -> str:
+    """Terminal-friendly rendering of a 2-D array (e.g. remaining data).
+
+    Rows print top-to-bottom as north-to-south; intensity uses a 10-step
+    character ramp.
+    """
+    ramp = " .:-=+*#%@"
+    grid = np.asarray(values, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2-D array")
+    peak = grid.max()
+    normalised = grid / peak if peak > 0 else np.zeros_like(grid)
+    # Downsample by max-pooling into character bins so isolated peaks
+    # survive (character cells are ~2x taller than wide).
+    h, w = grid.shape
+    cols = min(width, w)
+    rows = max(2, int(h * cols / w / 2))
+    col_edges = np.linspace(0, w, cols + 1).astype(int)
+    row_edges = np.linspace(0, h, rows + 1).astype(int)
+    lines = []
+    for ri in range(rows - 1, -1, -1):  # north on top
+        r0, r1 = row_edges[ri], max(row_edges[ri] + 1, row_edges[ri + 1])
+        chars = []
+        for ci in range(cols):
+            c0, c1 = col_edges[ci], max(col_edges[ci] + 1, col_edges[ci + 1])
+            value = normalised[r0:r1, c0:c1].max()
+            chars.append(ramp[int(value * (len(ramp) - 1))])
+        lines.append("".join(chars))
+    return "\n".join(lines)

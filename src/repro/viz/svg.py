@@ -1,0 +1,119 @@
+"""Minimal SVG document builder (no third-party plotting dependency).
+
+Provides just enough of SVG to render campuses and trajectories: lines,
+polylines, polygons, circles, rectangles and text, with a y-flip so world
+coordinates (y up) map to screen coordinates (y down).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["SVGCanvas"]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SVGCanvas:
+    """Accumulates SVG elements over a world-coordinate viewport.
+
+    Parameters
+    ----------
+    world_width, world_height:
+        Extent of the world being drawn (metres).
+    pixels:
+        Width of the output image; height scales proportionally.
+    margin:
+        Padding around the drawing, in pixels.
+    """
+
+    def __init__(self, world_width: float, world_height: float,
+                 pixels: int = 800, margin: float = 20.0):
+        if world_width <= 0 or world_height <= 0:
+            raise ValueError("world extent must be positive")
+        self.world_width = float(world_width)
+        self.world_height = float(world_height)
+        self.margin = float(margin)
+        self.scale = (pixels - 2 * margin) / world_width
+        self.width = pixels
+        self.height = int(world_height * self.scale + 2 * margin)
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _x(self, x: float) -> float:
+        return self.margin + x * self.scale
+
+    def _y(self, y: float) -> float:
+        # Flip: world y grows upward, SVG y grows downward.
+        return self.height - self.margin - y * self.scale
+
+    def _point(self, p) -> str:
+        return f"{_fmt(self._x(float(p[0])))},{_fmt(self._y(float(p[1])))}"
+
+    # ------------------------------------------------------------------
+    def line(self, a, b, stroke: str = "#444", width: float = 1.0,
+             dash: str | None = None, opacity: float = 1.0) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{_fmt(self._x(a[0]))}" y1="{_fmt(self._y(a[1]))}" '
+            f'x2="{_fmt(self._x(b[0]))}" y2="{_fmt(self._y(b[1]))}" '
+            f'stroke="{stroke}" stroke-width="{_fmt(width)}" '
+            f'stroke-opacity="{_fmt(opacity)}"{dash_attr}/>')
+
+    def polyline(self, points, stroke: str = "#1f77b4", width: float = 1.5,
+                 opacity: float = 1.0) -> None:
+        if len(points) < 2:
+            return
+        pts = " ".join(self._point(p) for p in points)
+        self._elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}" stroke-opacity="{_fmt(opacity)}"/>')
+
+    def polygon(self, points, fill: str = "#999", stroke: str = "none",
+                opacity: float = 1.0) -> None:
+        pts = " ".join(self._point(p) for p in points)
+        self._elements.append(
+            f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'fill-opacity="{_fmt(opacity)}"/>')
+
+    def circle(self, centre, radius_px: float, fill: str = "#d62728",
+               stroke: str = "none", opacity: float = 1.0) -> None:
+        self._elements.append(
+            f'<circle cx="{_fmt(self._x(centre[0]))}" cy="{_fmt(self._y(centre[1]))}" '
+            f'r="{_fmt(radius_px)}" fill="{fill}" stroke="{stroke}" '
+            f'fill-opacity="{_fmt(opacity)}"/>')
+
+    def text(self, position, content: str, size_px: float = 12.0,
+             fill: str = "#000") -> None:
+        safe = (content.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;"))
+        self._elements.append(
+            f'<text x="{_fmt(self._x(position[0]))}" y="{_fmt(self._y(position[1]))}" '
+            f'font-size="{_fmt(size_px)}" fill="{fill}" '
+            f'font-family="sans-serif">{safe}</text>')
+
+    def text_px(self, x_px: float, y_px: float, content: str,
+                size_px: float = 12.0, fill: str = "#000") -> None:
+        """Text at raw pixel coordinates (for legends outside the world)."""
+        safe = (content.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;"))
+        self._elements.append(
+            f'<text x="{_fmt(x_px)}" y="{_fmt(y_px)}" font-size="{_fmt(size_px)}" '
+            f'fill="{fill}" font-family="sans-serif">{safe}</text>')
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        header = (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                  f'width="{self.width}" height="{self.height}" '
+                  f'viewBox="0 0 {self.width} {self.height}">')
+        background = (f'<rect width="{self.width}" height="{self.height}" '
+                      f'fill="#ffffff"/>')
+        return "\n".join([header, background, *self._elements, "</svg>"])
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path

@@ -1,0 +1,122 @@
+"""Tests for the greedy heuristic planner baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedyAgent, GreedyUAVPolicy, GreedyUGVPolicy
+from repro.env.observation import UAVObservation
+
+
+class TestGreedyUGVPolicy:
+    def test_invalid_release_fraction(self):
+        with pytest.raises(ValueError):
+            GreedyUGVPolicy(release_fraction=0.0)
+
+    def test_moves_to_richest_visible_stop(self, toy_env):
+        toy_env.reset()
+        res_obs = toy_env._ugv_observations()
+        obs = res_obs[0]
+        # Plant a clear winner among feasible stops (away from current).
+        obs.stop_features[:, 2] = 0.0
+        feasible = np.nonzero(obs.action_mask[:obs.num_stops])[0]
+        target = int(feasible[feasible != obs.current_stop][0])
+        obs.stop_features[target, 2] = 1.0
+        policy = GreedyUGVPolicy()
+        out = policy([obs])
+        assert int(out.distribution.mode()[0]) == target
+
+    def test_releases_when_local_stop_rich(self, toy_env):
+        toy_env.reset()
+        obs = toy_env._ugv_observations()[0]
+        obs.stop_features[:, 2] = 0.0
+        obs.stop_features[obs.current_stop, 2] = 1.0
+        out = GreedyUGVPolicy()([obs])
+        assert int(out.distribution.mode()[0]) == obs.num_stops  # release
+
+    def test_mask_constant_not_mistaken_for_data(self, toy_env):
+        toy_env.reset()
+        obs = toy_env._ugv_observations()[0]
+        obs.stop_features[:, 2] = -1.0  # everything unknown
+        out = GreedyUGVPolicy()([obs])
+        action = int(out.distribution.mode()[0])
+        # Nothing known: must not release into the void.
+        assert action != obs.num_stops
+
+    def test_never_selects_masked_action(self, toy_env):
+        toy_env.reset()
+        obs_list = toy_env._ugv_observations()
+        out = GreedyUGVPolicy()(obs_list)
+        actions = out.distribution.mode()
+        for action, obs in zip(actions, obs_list):
+            assert obs.action_mask[action]
+
+
+class TestGreedyUAVPolicy:
+    def _obs(self, grid):
+        return UAVObservation(agent_index=0, grid=grid, aux=np.zeros(5))
+
+    @staticmethod
+    def _heading(movement):
+        norm = np.linalg.norm(movement)
+        assert norm > 0
+        return movement / norm
+
+    def test_flies_toward_data(self):
+        grid = np.zeros((3, 9, 9))
+        grid[1, 4, 8] = 1.0  # data due east of the centre
+        dist, _ = GreedyUAVPolicy()([self._obs(grid)])
+        heading = self._heading(dist.mode()[0])
+        assert heading[0] > 0.8 and abs(heading[1]) < 0.5
+
+    def test_flies_north_when_data_above(self):
+        grid = np.zeros((3, 9, 9))
+        grid[1, 8, 4] = 1.0  # raster rows grow with world y: top row = north
+        dist, _ = GreedyUAVPolicy()([self._obs(grid)])
+        heading = self._heading(dist.mode()[0])
+        assert heading[1] > 0.8
+
+    def test_hovers_within_sensing_range(self):
+        grid = np.zeros((3, 9, 9))
+        grid[1, 5, 5] = 1.0  # one cell away from centre (4, 4)
+        dist, _ = GreedyUAVPolicy()([self._obs(grid)])
+        np.testing.assert_allclose(dist.mode()[0], np.zeros(2))
+
+    def test_routes_around_wall(self):
+        # A vertical wall between the UAV and the data: the first step
+        # must not head straight into it.
+        grid = np.zeros((3, 11, 11))
+        grid[0, 2:9, 7] = 1.0  # wall east of centre (5, 5)
+        grid[1, 5, 10] = 1.0  # data beyond the wall
+        dist, _ = GreedyUAVPolicy()([self._obs(grid)])
+        movement = dist.mode()[0]
+        assert np.linalg.norm(movement) > 0
+        # With the wall dilated, a due-east heading is blocked; the plan
+        # must include a vertical detour component.
+        assert abs(movement[1]) > 1e-6
+
+    def test_drifts_when_nothing_visible(self):
+        grid = np.zeros((3, 7, 7))
+        dist, _ = GreedyUAVPolicy()([self._obs(grid)])
+        assert np.linalg.norm(dist.mode()[0]) > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GreedyUAVPolicy(cell_metres=0.0)
+
+
+class TestGreedyAgent:
+    def test_noop_training(self, toy_env):
+        assert GreedyAgent(toy_env).train(5) == []
+
+    def test_collects_more_than_random(self, toy_env):
+        greedy = GreedyAgent(toy_env, seed=0).evaluate(episodes=3)
+        from repro.baselines import RandomAgent
+
+        random_snap = RandomAgent(toy_env, seed=0).evaluate(episodes=3)
+        # Myopic exploitation must at least match random search on raw
+        # collection in a small arena.
+        assert greedy.psi >= random_snap.psi * 0.9
+
+    def test_trace(self, toy_env):
+        trace = GreedyAgent(toy_env, seed=0).rollout_trace(seed=0)
+        assert len(trace) == toy_env.config.episode_len

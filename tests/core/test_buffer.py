@@ -1,0 +1,111 @@
+"""Tests for the UGV/UAV rollout buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core import UAVRollout, UGVRollout, compute_gae
+
+
+def make_ugv_rollout(t=4, u=2, actionable=None):
+    roll = UGVRollout(u)
+    rng = np.random.default_rng(0)
+    for step in range(t):
+        act = actionable[step] if actionable is not None else np.ones(u, dtype=bool)
+        roll.add(
+            obs=[f"obs-{step}-{agent}" for agent in range(u)],
+            actions=rng.integers(0, 5, u),
+            log_probs=rng.normal(size=u),
+            values=rng.normal(size=u),
+            rewards=rng.normal(size=u),
+            actionable=act,
+            done=(step == t - 1),
+        )
+    return roll
+
+
+class TestUGVRollout:
+    def test_length(self):
+        assert len(make_ugv_rollout(t=5)) == 5
+
+    def test_samples_only_for_actionable_steps(self):
+        actionable = np.array([
+            [True, True],
+            [False, True],
+            [True, False],
+            [True, True],
+        ])
+        roll = make_ugv_rollout(t=4, u=2, actionable=actionable)
+        samples = roll.build_samples(gamma=0.9, lam=0.95)
+        assert len(samples) == int(actionable.sum())
+        for s in samples:
+            t = int(s.joint_observations[0].split("-")[1])
+            assert actionable[t][s.agent]
+
+    def test_advantages_match_direct_gae(self):
+        roll = make_ugv_rollout(t=6, u=1)
+        samples = roll.build_samples(gamma=0.9, lam=0.8)
+        rewards = np.asarray(roll.rewards)[:, 0]
+        values = np.asarray(roll.values)[:, 0]
+        dones = np.asarray(roll.dones)
+        adv, ret = compute_gae(rewards, values, dones, 0.9, 0.8)
+        got_adv = [s.advantage for s in samples]
+        np.testing.assert_allclose(got_adv, adv)
+        np.testing.assert_allclose([s.ret for s in samples], ret)
+
+    def test_samples_share_joint_observation_identity(self):
+        roll = make_ugv_rollout(t=2, u=3)
+        samples = roll.build_samples(0.9, 0.95)
+        step0 = [s for s in samples if s.joint_observations[0] == "obs-0-0"]
+        assert len(step0) == 3
+        assert all(s.joint_observations is step0[0].joint_observations for s in step0)
+
+    def test_rewards_flow_into_actionable_advantage(self):
+        # A release at t=0 (actionable) followed by waiting steps with
+        # reward must produce a positive advantage at t=0.
+        roll = UGVRollout(1)
+        actionable = [True, False, False]
+        rewards = [0.0, 5.0, 5.0]
+        for t in range(3):
+            roll.add(obs=[f"o{t}"], actions=[0], log_probs=[0.0], values=[0.0],
+                     rewards=[rewards[t]], actionable=[actionable[t]], done=(t == 2))
+        samples = roll.build_samples(gamma=0.99, lam=0.95)
+        assert len(samples) == 1
+        assert samples[0].advantage > 5.0
+
+
+class TestUAVRollout:
+    def test_segments_closed_on_docking(self):
+        roll = UAVRollout(2)
+        for t in range(3):
+            roll.add(0, observation=f"obs{t}", action=np.zeros(2),
+                     log_prob=0.0, value=0.0, reward=1.0)
+        roll.close_flight(0)
+        samples = roll.build_samples(gamma=0.9, lam=1.0)
+        assert len(samples) == 3
+        # Monte-Carlo returns of an all-ones reward: 1+.9+.81, 1+.9, 1.
+        np.testing.assert_allclose(sorted(s.ret for s in samples),
+                                   sorted([2.71, 1.9, 1.0]))
+
+    def test_two_flights_are_independent(self):
+        roll = UAVRollout(1)
+        roll.add(0, "a", np.zeros(2), 0.0, 0.0, reward=100.0)
+        roll.close_flight(0)
+        roll.add(0, "b", np.zeros(2), 0.0, 0.0, reward=0.0)
+        roll.close_flight(0)
+        samples = roll.build_samples(gamma=0.99, lam=0.95)
+        rets = sorted(s.ret for s in samples)
+        # The second flight must not inherit the first's reward.
+        np.testing.assert_allclose(rets, [0.0, 100.0])
+
+    def test_close_all_seals_open_segments(self):
+        roll = UAVRollout(3)
+        roll.add(0, "x", np.zeros(2), 0.0, 0.0, 1.0)
+        roll.add(2, "y", np.zeros(2), 0.0, 0.0, 1.0)
+        assert roll.num_transitions == 2
+        samples = roll.build_samples(0.9, 0.95)  # implicitly closes all
+        assert len(samples) == 2
+
+    def test_close_flight_without_transitions_is_noop(self):
+        roll = UAVRollout(1)
+        roll.close_flight(0)
+        assert roll.build_samples(0.9, 0.95) == []

@@ -1,0 +1,60 @@
+"""Tests for the checkpoint manager."""
+
+import pytest
+
+from repro.core import CheckpointManager, GARLAgent, GARLConfig, PPOConfig
+
+
+class FakeRecord:
+    def __init__(self, iteration, efficiency):
+        self.iteration = iteration
+        self.metrics = {"efficiency": efficiency}
+
+
+@pytest.fixture()
+def agent(toy_env):
+    return GARLAgent(toy_env, GARLConfig(hidden_dim=8, mc_gcn_layers=1,
+                                         ecomm_layers=1,
+                                         ppo=PPOConfig(epochs=1, minibatch_size=16)))
+
+
+class TestCheckpointManager:
+    def test_validation(self, tmp_path, agent):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, agent, every=0)
+
+    def test_best_tracks_maximum(self, tmp_path, agent):
+        manager = CheckpointManager(tmp_path, agent, every=100)
+        manager(FakeRecord(0, 0.3))
+        manager(FakeRecord(1, 0.9))
+        manager(FakeRecord(2, 0.5))  # worse: best must stay at iteration 1
+        meta = manager.load_best()
+        assert meta["iteration"] == 1
+        assert meta["value"] == pytest.approx(0.9)
+
+    def test_periodic_pruning(self, tmp_path, agent):
+        manager = CheckpointManager(tmp_path, agent, every=1, keep=2)
+        for i in range(5):
+            manager(FakeRecord(i, 0.1))
+        kept = manager.available()
+        assert len(kept) == 2
+        assert all(path.exists() for path in kept)
+        # Oldest were removed from disk.
+        assert not (tmp_path / "iter_000000").exists()
+
+    def test_load_best_without_checkpoint(self, tmp_path, agent):
+        manager = CheckpointManager(tmp_path, agent, every=10)
+        with pytest.raises(FileNotFoundError):
+            manager.load_best()
+
+    def test_integration_with_training(self, tmp_path, agent):
+        manager = CheckpointManager(tmp_path, agent, every=1, keep=1)
+        agent.train(iterations=2, callback=manager)
+        assert manager.best_directory.exists()
+        meta = manager.load_best()
+        assert "value" in meta
+
+    def test_plain_dict_records(self, tmp_path, agent):
+        manager = CheckpointManager(tmp_path, agent, every=10)
+        manager({"iteration": 0, "metrics": {"efficiency": 0.4}})
+        assert manager.best_value == pytest.approx(0.4)

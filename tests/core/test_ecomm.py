@@ -1,0 +1,182 @@
+"""Tests for E-Comm (Section IV-C): shapes, invariance and equivariance.
+
+The paper's central claim about E-Comm is that message aggregation is
+E(2)-*invariant* while target updating is E(2)-*equivariant*: applying a
+rotation R and translation t to the input coordinates leaves the
+non-geometric features h unchanged and maps the geometric outputs g to
+R g + t.  These are property-tested over random rototranslations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EComm, GARLConfig
+from repro.nn import Tensor
+
+
+def rotation(angle: float) -> np.ndarray:
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s], [s, c]])
+
+
+@pytest.fixture()
+def config():
+    return GARLConfig(hidden_dim=8, ecomm_layers=2, ecomm_clip=10.0)
+
+
+def run_layers(ecomm: EComm, h: np.ndarray, g: np.ndarray):
+    """Run only the message-passing layers, skipping the stop readout."""
+    ht = Tensor(h)
+    gt = Tensor(g)
+    for layer in ecomm.layers:
+        ht, gt = layer(ht, gt)
+    return ht.numpy(), gt.numpy()
+
+
+class TestShapes:
+    def test_forward_shapes(self, toy_stops, config):
+        ecomm = EComm(config.hidden_dim, config)
+        u = 4
+        h = np.random.default_rng(0).normal(size=(u, config.hidden_dim))
+        g = np.random.default_rng(1).uniform(0, 400, size=(u, 2))
+        h_out, z, g_out = ecomm(Tensor(h), g, toy_stops.positions)
+        assert h_out.shape == (u, config.hidden_dim)
+        assert z.shape == (u, toy_stops.num_stops)
+        assert g_out.shape == (u, 2)
+
+    def test_single_agent_passthrough_geometry(self, toy_stops, config):
+        ecomm = EComm(config.hidden_dim, config)
+        h = np.random.default_rng(2).normal(size=(1, config.hidden_dim))
+        g = np.array([[100.0, 100.0]])
+        _, _, g_out = ecomm(Tensor(h), g, toy_stops.positions)
+        np.testing.assert_allclose(g_out.numpy(), g)
+
+    def test_gradients_reach_parameters(self, toy_stops, config):
+        ecomm = EComm(config.hidden_dim, config)
+        h = Tensor(np.random.default_rng(3).normal(size=(3, config.hidden_dim)),
+                   requires_grad=True)
+        g = np.random.default_rng(4).uniform(0, 400, size=(3, 2))
+        h_out, z, _ = ecomm(h, g, toy_stops.positions)
+        (h_out.sum() + z.sum()).backward()
+        for name, p in ecomm.named_parameters():
+            assert p.grad is not None, f"no gradient for {name}"
+        assert h.grad is not None
+
+
+class TestEquivariance:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0, 2 * np.pi), st.floats(-100, 100), st.floats(-100, 100))
+    def test_h_invariant_under_rototranslation(self, angle, tx, ty):
+        config = GARLConfig(hidden_dim=6, ecomm_layers=2, ecomm_clip=10.0)
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        h = rng.normal(size=(4, 6))
+        g = rng.uniform(0, 300, size=(4, 2))
+        rot = rotation(angle)
+        g2 = g @ rot.T + np.array([tx, ty])
+        h_out1, _ = run_layers(ecomm, h, g)
+        h_out2, _ = run_layers(ecomm, h, g2)
+        np.testing.assert_allclose(h_out1, h_out2, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0, 2 * np.pi), st.floats(-100, 100), st.floats(-100, 100))
+    def test_g_equivariant_under_rototranslation(self, angle, tx, ty):
+        config = GARLConfig(hidden_dim=6, ecomm_layers=3, ecomm_clip=10.0)
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(2)
+        h = rng.normal(size=(3, 6))
+        g = rng.uniform(0, 300, size=(3, 2))
+        rot = rotation(angle)
+        shift = np.array([tx, ty])
+        _, g_out1 = run_layers(ecomm, h, g)
+        _, g_out2 = run_layers(ecomm, h, g @ rot.T + shift)
+        np.testing.assert_allclose(g_out2, g_out1 @ rot.T + shift, atol=1e-6)
+
+    def test_permutation_equivariance(self, config):
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(3)
+        h = rng.normal(size=(4, config.hidden_dim))
+        g = rng.uniform(0, 300, size=(4, 2))
+        perm = np.array([2, 0, 3, 1])
+        h_out1, g_out1 = run_layers(ecomm, h, g)
+        h_out2, g_out2 = run_layers(ecomm, h[perm], g[perm])
+        np.testing.assert_allclose(h_out2, h_out1[perm], atol=1e-8)
+        np.testing.assert_allclose(g_out2, g_out1[perm], atol=1e-8)
+
+    def test_clip_bounds_geometry_update(self):
+        config = GARLConfig(hidden_dim=6, ecomm_layers=1, ecomm_clip=0.5)
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(4)
+        h = rng.normal(size=(3, 6)) * 100.0  # large features -> large effect
+        g = rng.uniform(0, 300, size=(3, 2))
+        _, g_out = run_layers(ecomm, h, g)
+        moved = np.linalg.norm(g_out - g, axis=-1)
+        assert (moved <= 0.5 + 1e-9).all()
+
+    def test_closer_neighbours_weighted_more(self, config):
+        # Eqn. (26): a UGV right next to u should dominate the softmax
+        # over one far away, so moving the far one barely changes u's h.
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(5)
+        h = rng.normal(size=(3, config.hidden_dim))
+        base = np.array([[0.0, 0.0], [1.0, 0.0], [500.0, 0.0]])
+        far_moved = np.array([[0.0, 0.0], [1.0, 0.0], [600.0, 100.0]])
+        near_moved = np.array([[0.0, 0.0], [30.0, 0.0], [500.0, 0.0]])
+        h0, _ = run_layers(ecomm, h, base)
+        h_far, _ = run_layers(ecomm, h, far_moved)
+        h_near, _ = run_layers(ecomm, h, near_moved)
+        delta_far = np.abs(h_far[0] - h0[0]).sum()
+        delta_near = np.abs(h_near[0] - h0[0]).sum()
+        assert delta_near > delta_far
+
+
+class TestReadout:
+    def test_z_scores_reflect_target_alignment(self, toy_stops):
+        # With W3 = I, z_b = x_b . g: stops aligned with the target vector
+        # score highest.
+        config = GARLConfig(hidden_dim=4, ecomm_layers=1)
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        ecomm.w3.weight.data = np.eye(2)
+        rng = np.random.default_rng(1)
+        h = Tensor(rng.normal(size=(2, 4)))
+        g = np.array([[200.0, 200.0], [210.0, 190.0]])
+        _, z, g_out = ecomm(h, g, toy_stops.positions)
+        expected = toy_stops.positions @ g_out.numpy().T
+        np.testing.assert_allclose(z.numpy(), expected.T, atol=1e-8)
+
+
+class TestUniformWeightsAblation:
+    def test_uniform_alpha_is_mean(self):
+        config = GARLConfig(hidden_dim=4, ecomm_layers=1,
+                            ecomm_uniform_weights=True)
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        layer = ecomm.layers[0]
+        assert layer.uniform_weights
+
+    def test_uniform_variant_ignores_distance_changes(self):
+        # With uniform weights, scaling all pairwise distances leaves the
+        # aggregated h unchanged (only directions enter g, not h).
+        config = GARLConfig(hidden_dim=6, ecomm_layers=1,
+                            ecomm_uniform_weights=True, ecomm_clip=1e9)
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        h = rng.normal(size=(3, 6))
+        g = rng.uniform(0, 100, size=(3, 2))
+        centre = g.mean(axis=0)
+        h1, _ = run_layers(ecomm, h, g)
+        h2, _ = run_layers(ecomm, h, centre + (g - centre) * 5.0)
+        np.testing.assert_allclose(h1, h2, atol=1e-9)
+
+    def test_default_variant_sensitive_to_distance_changes(self):
+        config = GARLConfig(hidden_dim=6, ecomm_layers=1, ecomm_clip=1e9)
+        ecomm = EComm(config.hidden_dim, config, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        h = rng.normal(size=(3, 6))
+        # Asymmetric formation so the softmax weights are non-uniform.
+        g = np.array([[0.0, 0.0], [10.0, 0.0], [200.0, 0.0]])
+        centre = g.mean(axis=0)
+        h1, _ = run_layers(ecomm, h, g)
+        h2, _ = run_layers(ecomm, h, centre + (g - centre) * 5.0)
+        assert not np.allclose(h1, h2, atol=1e-9)

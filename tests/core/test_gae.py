@@ -1,0 +1,80 @@
+"""Tests for Generalized Advantage Estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import compute_gae
+
+
+class TestGAE:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_gae(np.ones(3), np.ones(2), np.zeros(3, dtype=bool), 0.9, 0.95)
+
+    def test_single_terminal_step(self):
+        adv, ret = compute_gae(np.array([1.0]), np.array([0.5]),
+                               np.array([True]), gamma=0.9, lam=0.95)
+        # delta = r - V = 0.5 (terminal: no bootstrap)
+        np.testing.assert_allclose(adv, [0.5])
+        np.testing.assert_allclose(ret, [1.0])
+
+    def test_lambda_zero_is_td_error(self):
+        rewards = np.array([1.0, 2.0, 3.0])
+        values = np.array([0.5, 1.0, 1.5])
+        dones = np.array([False, False, True])
+        gamma = 0.9
+        adv, _ = compute_gae(rewards, values, dones, gamma, lam=0.0)
+        expected = np.array([
+            1.0 + gamma * 1.0 - 0.5,
+            2.0 + gamma * 1.5 - 1.0,
+            3.0 - 1.5,
+        ])
+        np.testing.assert_allclose(adv, expected)
+
+    def test_lambda_one_is_monte_carlo(self):
+        rewards = np.array([1.0, 1.0, 1.0])
+        values = np.array([0.0, 0.0, 0.0])
+        dones = np.array([False, False, True])
+        gamma = 0.5
+        adv, ret = compute_gae(rewards, values, dones, gamma, lam=1.0)
+        # Discounted returns: 1 + 0.5 + 0.25, 1 + 0.5, 1.
+        np.testing.assert_allclose(ret, [1.75, 1.5, 1.0])
+        np.testing.assert_allclose(adv, ret)  # values are zero
+
+    def test_hand_computed_two_steps(self):
+        rewards = np.array([0.0, 1.0])
+        values = np.array([0.2, 0.4])
+        dones = np.array([False, True])
+        gamma, lam = 0.9, 0.8
+        delta1 = 1.0 - 0.4
+        delta0 = 0.0 + 0.9 * 0.4 - 0.2
+        adv1 = delta1
+        adv0 = delta0 + gamma * lam * adv1
+        adv, ret = compute_gae(rewards, values, dones, gamma, lam)
+        np.testing.assert_allclose(adv, [adv0, adv1])
+        np.testing.assert_allclose(ret, [adv0 + 0.2, adv1 + 0.4])
+
+    def test_done_resets_accumulation(self):
+        # Two one-step episodes back to back: the second episode's reward
+        # must not bleed into the first's advantage.
+        rewards = np.array([1.0, 100.0])
+        values = np.array([0.0, 0.0])
+        dones = np.array([True, True])
+        adv, _ = compute_gae(rewards, values, dones, 0.99, 0.95)
+        np.testing.assert_allclose(adv, [1.0, 100.0])
+
+    def test_bootstrap_with_last_value(self):
+        rewards = np.array([0.0])
+        values = np.array([0.0])
+        dones = np.array([False])  # truncated, not terminal
+        adv, _ = compute_gae(rewards, values, dones, gamma=0.9, lam=1.0, last_value=2.0)
+        np.testing.assert_allclose(adv, [1.8])
+
+    def test_returns_equal_adv_plus_values(self):
+        rng = np.random.default_rng(0)
+        rewards = rng.normal(size=20)
+        values = rng.normal(size=20)
+        dones = rng.random(20) < 0.2
+        dones[-1] = True
+        adv, ret = compute_gae(rewards, values, dones, 0.95, 0.9)
+        np.testing.assert_allclose(ret, adv + values)

@@ -1,0 +1,101 @@
+"""Tests for the MC-GCN module (Section IV-B, Eqns. 18-23)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GARLConfig, MCGCN, multi_center_structural_feature
+from repro.core.config import PPOConfig
+
+
+@pytest.fixture()
+def config():
+    return GARLConfig(hidden_dim=8, mc_gcn_layers=2, structural_q=5.0,
+                      ppo=PPOConfig())
+
+
+class TestStructuralFeature:
+    def test_eqn18_subtracts_mean_of_others(self):
+        corr = np.array([
+            [1.0, 0.5, 0.2],
+            [0.5, 1.0, 0.4],
+            [0.2, 0.4, 1.0],
+        ])
+        feature = multi_center_structural_feature(corr, own_stop=0,
+                                                  other_stops=np.array([1, 2]))
+        expected = corr[0] - (corr[1] + corr[2]) / 2.0
+        np.testing.assert_allclose(feature, expected)
+
+    def test_no_other_ugvs_returns_own_row(self):
+        corr = np.eye(4)
+        feature = multi_center_structural_feature(corr, 2, np.array([], dtype=int))
+        np.testing.assert_allclose(feature, corr[2])
+
+    def test_negative_centres_suppress_contested_stops(self):
+        # A stop close to another UGV gets a lower value than with no rival.
+        corr = np.array([
+            [1.0, 0.5],
+            [0.5, 1.0],
+        ])
+        alone = multi_center_structural_feature(corr, 0, np.array([], dtype=int))
+        contested = multi_center_structural_feature(corr, 0, np.array([1]))
+        assert contested[1] < alone[1]
+
+
+class TestForward:
+    def test_output_shapes(self, toy_stops, config):
+        model = MCGCN(toy_stops, config)
+        features = np.random.default_rng(0).normal(size=(toy_stops.num_stops, 3))
+        nodes, pooled = model(features, own_stop=0, other_stops=np.array([3]))
+        assert nodes.shape == (toy_stops.num_stops, config.hidden_dim)
+        assert pooled.shape == (config.hidden_dim,)
+
+    def test_pooled_feature_bounded_by_tanh(self, toy_stops, config):
+        model = MCGCN(toy_stops, config)
+        features = np.random.default_rng(1).normal(size=(toy_stops.num_stops, 3)) * 10
+        _, pooled = model(features, 0, np.array([1, 2]))
+        assert (np.abs(pooled.numpy()) <= 1.0).all()
+
+    def test_gradients_reach_all_parameters(self, toy_stops, config):
+        model = MCGCN(toy_stops, config)
+        features = np.random.default_rng(2).normal(size=(toy_stops.num_stops, 3))
+        nodes, pooled = model(features, 1, np.array([0]))
+        (nodes.sum() + pooled.sum()).backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, f"no gradient for {name}"
+
+    def test_own_position_changes_output(self, toy_stops, config):
+        # The multi-center design makes the output depend on where the UGV is.
+        model = MCGCN(toy_stops, config)
+        features = np.random.default_rng(3).normal(size=(toy_stops.num_stops, 3))
+        _, pooled_a = model(features, 0, np.array([5]))
+        _, pooled_b = model(features, 10, np.array([5]))
+        assert not np.allclose(pooled_a.numpy(), pooled_b.numpy())
+
+    def test_other_ugv_positions_change_output(self, toy_stops, config):
+        model = MCGCN(toy_stops, config)
+        features = np.random.default_rng(4).normal(size=(toy_stops.num_stops, 3))
+        nodes_a, _ = model(features, 0, np.array([1]))
+        nodes_b, _ = model(features, 0, np.array([12]))
+        assert not np.allclose(nodes_a.numpy(), nodes_b.numpy())
+
+    def test_ablated_plain_gcn_ignores_other_ugvs(self, toy_stops, config):
+        plain = MCGCN(toy_stops, config.ablated(mc=False))
+        features = np.random.default_rng(5).normal(size=(toy_stops.num_stops, 3))
+        nodes_a, _ = plain(features, 0, np.array([1]))
+        nodes_b, _ = plain(features, 0, np.array([12]))
+        np.testing.assert_allclose(nodes_a.numpy(), nodes_b.numpy())
+
+    def test_layer_count_respected(self, toy_stops):
+        for layers in (1, 3, 5):
+            cfg = GARLConfig(hidden_dim=4, mc_gcn_layers=layers)
+            model = MCGCN(toy_stops, cfg)
+            assert len(model.gcn_layers) == layers
+            assert len(model.attn_weights) == layers
+
+    def test_deterministic_given_seed(self, toy_stops, config):
+        a = MCGCN(toy_stops, config, rng=np.random.default_rng(11))
+        b = MCGCN(toy_stops, config, rng=np.random.default_rng(11))
+        features = np.random.default_rng(6).normal(size=(toy_stops.num_stops, 3))
+        _, pa = a(features, 0, np.array([1]))
+        _, pb = b(features, 0, np.array([1]))
+        np.testing.assert_array_equal(pa.numpy(), pb.numpy())

@@ -1,0 +1,141 @@
+"""Tests for the UGV (GARL) and UAV actor-critic policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import GARLConfig, UAVPolicy, UGVPolicy
+from repro.env import EnvConfig
+
+
+@pytest.fixture()
+def config():
+    return GARLConfig(hidden_dim=8, mc_gcn_layers=2, ecomm_layers=2)
+
+
+class TestUGVPolicy:
+    def test_output_shapes(self, toy_env, config):
+        res = toy_env.reset()
+        policy = UGVPolicy(toy_env.stops, config)
+        out = policy(res.ugv_observations)
+        u = toy_env.config.num_ugvs
+        assert out.logits.shape == (u, toy_env.ugv_action_dim)
+        assert out.values.shape == (u,)
+
+    def test_infeasible_actions_masked(self, toy_env, config):
+        res = toy_env.reset()
+        policy = UGVPolicy(toy_env.stops, config)
+        out = policy(res.ugv_observations)
+        for u, obs in enumerate(res.ugv_observations):
+            logits = out.logits.numpy()[u]
+            assert (logits[~obs.action_mask] < -1e8).all()
+            assert (logits[obs.action_mask] > -1e8).all()
+
+    def test_sampling_respects_mask(self, toy_env, config):
+        res = toy_env.reset()
+        policy = UGVPolicy(toy_env.stops, config)
+        out = policy(res.ugv_observations)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            actions = out.distribution.sample(rng)
+            for u, obs in enumerate(res.ugv_observations):
+                assert obs.action_mask[actions[u]]
+
+    def test_ablation_without_ecomm(self, toy_env, config):
+        policy = UGVPolicy(toy_env.stops, config.ablated(ecomm=False))
+        assert policy.ecomm is None
+        res = toy_env.reset()
+        out = policy(res.ugv_observations)
+        assert np.isfinite(out.values.numpy()).all()
+
+    def test_gradients_flow_end_to_end(self, toy_env, config):
+        res = toy_env.reset()
+        policy = UGVPolicy(toy_env.stops, config)
+        out = policy(res.ugv_observations)
+        actions = out.distribution.mode()
+        loss = -out.distribution.log_prob(actions).sum() + (out.values**2).sum()
+        loss.backward()
+        grads = [p.grad is not None for _, p in policy.named_parameters()]
+        # All heads plus MC-GCN and E-Comm must receive gradient.
+        assert sum(grads) >= len(grads) - 1  # z_scale may be zero-grad if z==0
+
+    def test_deterministic_given_seed(self, toy_env, config):
+        res = toy_env.reset()
+        a = UGVPolicy(toy_env.stops, config, rng=np.random.default_rng(1))
+        b = UGVPolicy(toy_env.stops, config, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a(res.ugv_observations).logits.numpy(),
+                                      b(res.ugv_observations).logits.numpy())
+
+    def test_state_dict_round_trip_preserves_outputs(self, toy_env, config):
+        res = toy_env.reset()
+        a = UGVPolicy(toy_env.stops, config, rng=np.random.default_rng(1))
+        b = UGVPolicy(toy_env.stops, config, rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a(res.ugv_observations).logits.numpy(),
+                                   b(res.ugv_observations).logits.numpy())
+
+
+class TestUAVPolicy:
+    def _airborne(self, toy_env):
+        res = toy_env.reset()
+        res = toy_env.step([toy_env.release_action] * toy_env.config.num_ugvs,
+                           [None] * toy_env.config.num_uavs)
+        return [o for o in res.uav_observations if o is not None]
+
+    def test_forward_shapes(self, toy_env, config):
+        obs = self._airborne(toy_env)
+        policy = UAVPolicy(toy_env.config.uav_obs_size, config)
+        dist, values = policy(obs)
+        assert dist.mean.shape == (len(obs), 2)
+        assert values.shape == (len(obs),)
+
+    def test_mean_bounded_by_tanh(self, toy_env, config):
+        obs = self._airborne(toy_env)
+        policy = UAVPolicy(toy_env.config.uav_obs_size, config)
+        dist, _ = policy(obs)
+        assert (np.abs(dist.mean.numpy()) <= 1.0).all()
+
+    def test_log_std_is_learnable(self, toy_env, config):
+        obs = self._airborne(toy_env)
+        policy = UAVPolicy(toy_env.config.uav_obs_size, config)
+        dist, _ = policy(obs)
+        sample = dist.sample(np.random.default_rng(0))
+        dist.log_prob(sample).sum().backward()
+        assert policy.log_std.grad is not None
+
+    def test_works_with_any_obs_radius(self, toy_campus, toy_stops, config):
+        from repro.env import AirGroundEnv
+
+        cfg = EnvConfig(num_ugvs=1, num_uavs_per_ugv=1, episode_len=5,
+                        uav_obs_radius=5)
+        env = AirGroundEnv(toy_campus, cfg, stops=toy_stops, seed=0)
+        env.reset()
+        res = env.step([env.release_action], [None])
+        obs = [o for o in res.uav_observations if o is not None]
+        policy = UAVPolicy(cfg.uav_obs_size, config)
+        dist, values = policy(obs)
+        assert dist.mean.shape == (1, 2)
+
+
+class TestReleaseBias:
+    def test_release_head_bias_initialised(self, toy_env, config):
+        from repro.core.policies import RELEASE_BIAS
+
+        policy = UGVPolicy(toy_env.stops, config)
+        from repro.nn import Linear
+
+        last = None
+        for module in policy.release_head.modules():
+            if isinstance(module, Linear):
+                last = module
+        np.testing.assert_allclose(last.bias.data, RELEASE_BIAS)
+
+    def test_release_probability_elevated_at_init(self, toy_env, config):
+        # Release must start far above the 1/(B+1) uniform floor so early
+        # training actually flies UAVs.
+        policy = UGVPolicy(toy_env.stops, config)
+        res = toy_env.reset()
+        out = policy(res.ugv_observations)
+        probs = np.exp(out.distribution.log_probs_all.numpy())
+        release = toy_env.release_action
+        uniform_floor = 1.0 / toy_env.ugv_action_dim
+        assert (probs[:, release] > 3 * uniform_floor).all()

@@ -1,0 +1,65 @@
+"""Tests for hyperparameter schedules and their trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+)
+
+
+class TestSchedules:
+    def test_progress_range_enforced(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(1.0)(1.5)
+        with pytest.raises(ValueError):
+            LinearSchedule(1.0, 0.0)(-0.1)
+
+    def test_constant(self):
+        s = ConstantSchedule(0.3)
+        assert s(0.0) == s(0.5) == s(1.0) == 0.3
+
+    def test_linear_endpoints_and_midpoint(self):
+        s = LinearSchedule(1.0, 0.0)
+        assert s(0.0) == 1.0
+        assert s(1.0) == 0.0
+        assert s(0.5) == pytest.approx(0.5)
+
+    def test_cosine_endpoints_and_monotone(self):
+        s = CosineSchedule(1.0, 0.1)
+        assert s(0.0) == pytest.approx(1.0)
+        assert s(1.0) == pytest.approx(0.1)
+        values = [s(p) for p in np.linspace(0, 1, 11)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_exponential_endpoints(self):
+        s = ExponentialSchedule(1.0, 0.01)
+        assert s(0.0) == pytest.approx(1.0)
+        assert s(1.0) == pytest.approx(0.01)
+        assert s(0.5) == pytest.approx(0.1)
+
+    def test_exponential_requires_positive(self):
+        with pytest.raises(ValueError):
+            ExponentialSchedule(0.0, 1.0)
+
+
+class TestTrainerIntegration:
+    def test_lr_schedule_applied(self, toy_env):
+        from repro.core import GARLConfig, IPPOTrainer, PPOConfig, UAVPolicy, UGVPolicy
+
+        config = GARLConfig(hidden_dim=8, mc_gcn_layers=1, ecomm_layers=1,
+                            ppo=PPOConfig(epochs=1, minibatch_size=16))
+        rng = np.random.default_rng(0)
+        trainer = IPPOTrainer(toy_env,
+                              UGVPolicy(toy_env.stops, config, rng=rng),
+                              UAVPolicy(toy_env.config.uav_obs_size, config, rng=rng),
+                              config.ppo, seed=0,
+                              lr_schedule=LinearSchedule(1e-3, 1e-5),
+                              entropy_schedule=LinearSchedule(0.05, 0.0))
+        trainer.train(iterations=2)
+        # After the final iteration the lr must sit at the schedule's end.
+        assert trainer.ugv_optimizer.lr == pytest.approx(1e-5)
+        assert trainer._entropy_coef == pytest.approx(0.0)

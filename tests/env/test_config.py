@@ -1,0 +1,77 @@
+"""Tests for EnvConfig defaults (paper Section V-A) and validation."""
+
+import pytest
+
+from repro.env import EnvConfig
+
+
+class TestPaperDefaults:
+    def test_timeslot_30_seconds(self):
+        assert EnvConfig().timeslot_seconds == 30.0
+
+    def test_sensor_data_range_1_to_1_5_gb(self):
+        cfg = EnvConfig()
+        assert cfg.sensor_data_min == 1.0
+        assert cfg.sensor_data_max == 1.5
+
+    def test_collect_rate_matches_166_7_mbps(self):
+        # 166.7 Mbps * 30 s / 8 bits = 0.625 GB per timeslot.
+        assert EnvConfig().collect_rate == pytest.approx(0.625)
+
+    def test_uav_speed_12_kmh(self):
+        # 12 km/h = 100 m per 30 s timeslot.
+        assert EnvConfig().uav_max_step == pytest.approx(100.0)
+
+    def test_ugv_speed_48_kmh(self):
+        # 48 km/h = 400 m per 30 s timeslot.
+        assert EnvConfig().ugv_max_step == pytest.approx(400.0)
+
+    def test_energy_constants(self):
+        cfg = EnvConfig()
+        assert cfg.uav_energy == 10.0  # kJ, TS-X4
+        assert cfg.energy_per_metre == 0.01  # kJ/m
+
+    def test_sensing_range_60_m(self):
+        assert EnvConfig().sensing_range == 60.0
+
+    def test_stop_interval_100_m(self):
+        assert EnvConfig().stop_interval == 100.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_ugvs": 0},
+        {"num_uavs_per_ugv": 0},
+        {"episode_len": 0},
+        {"sensor_data_min": 0.0},
+        {"sensor_data_min": 2.0, "sensor_data_max": 1.0},
+        {"release_duration": 0},
+        {"uav_max_step": -1.0},
+        {"ugv_max_step": 0.0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EnvConfig(**kwargs)
+
+
+class TestDerived:
+    def test_num_uavs(self):
+        assert EnvConfig(num_ugvs=3, num_uavs_per_ugv=4).num_uavs == 12
+
+    def test_obs_size(self):
+        assert EnvConfig(uav_obs_radius=7).uav_obs_size == 15
+
+    def test_with_coalition(self):
+        base = EnvConfig(episode_len=42)
+        derived = base.with_coalition(6, 3)
+        assert derived.num_ugvs == 6
+        assert derived.num_uavs_per_ugv == 3
+        assert derived.episode_len == 42  # other settings preserved
+
+    def test_replace(self):
+        cfg = EnvConfig().replace(sensing_range=80.0)
+        assert cfg.sensing_range == 80.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EnvConfig().num_ugvs = 5

@@ -1,0 +1,122 @@
+"""Tests for Sensor / UGV / UAV lifecycle rules."""
+
+import numpy as np
+import pytest
+
+from repro.env import UAV, UGV, Sensor
+
+
+class TestSensor:
+    def test_initial_state(self):
+        s = Sensor(0, (10.0, 20.0), 1.2)
+        assert s.remaining == pytest.approx(1.2)
+        assert s.collected == 0.0
+        assert s.collected_ratio == 0.0
+
+    def test_requires_positive_data(self):
+        with pytest.raises(ValueError):
+            Sensor(0, (0, 0), 0.0)
+
+    def test_drain_caps_at_remaining(self):
+        s = Sensor(0, (0, 0), 1.0)
+        assert s.drain(0.6) == pytest.approx(0.6)
+        assert s.drain(0.6) == pytest.approx(0.4)
+        assert s.drain(0.6) == 0.0
+        assert s.remaining == 0.0
+
+    def test_collected_ratio(self):
+        s = Sensor(0, (0, 0), 2.0)
+        s.drain(0.5)
+        assert s.collected_ratio == pytest.approx(0.25)
+
+    def test_reset(self):
+        s = Sensor(0, (0, 0), 1.5)
+        s.drain(1.5)
+        s.reset()
+        assert s.remaining == pytest.approx(1.5)
+
+
+class TestUGV:
+    def test_release_protocol(self):
+        g = UGV(0, stop=3, position=np.zeros(2))
+        g.begin_release(4)
+        assert g.is_waiting
+        assert g.releases == 1
+        with pytest.raises(RuntimeError):
+            g.begin_release(4)
+
+    def test_cannot_move_while_waiting(self):
+        g = UGV(0, stop=0, position=np.zeros(2))
+        g.begin_release(2)
+        with pytest.raises(RuntimeError):
+            g.move_to(1, np.ones(2), 100.0)
+
+    def test_wait_timer_countdown(self):
+        g = UGV(0, stop=0, position=np.zeros(2))
+        g.begin_release(2)
+        assert g.tick_wait() is False  # 2 -> 1
+        assert g.tick_wait() is True  # 1 -> 0, window closes
+        assert not g.is_waiting
+        assert g.tick_wait() is False  # idempotent at zero
+
+    def test_move_accumulates_distance(self):
+        g = UGV(0, stop=0, position=np.zeros(2))
+        g.move_to(1, np.array([100.0, 0.0]), 100.0)
+        g.move_to(2, np.array([200.0, 0.0]), 150.0)
+        assert g.distance_travelled == pytest.approx(250.0)
+        assert g.stop == 2
+        np.testing.assert_allclose(g.position, [200.0, 0.0])
+
+
+class TestUAV:
+    def make(self) -> UAV:
+        return UAV(0, carrier=0, position=np.zeros(2), energy=10.0, max_energy=10.0)
+
+    def test_requires_positive_battery(self):
+        with pytest.raises(ValueError):
+            UAV(0, 0, np.zeros(2), energy=0.0, max_energy=0.0)
+
+    def test_launch_fly_dock_cycle(self):
+        v = self.make()
+        v.launch(np.array([5.0, 5.0]))
+        assert v.airborne
+        v.fly(np.array([10.0, 5.0]), metres=5.0, energy_per_metre=0.01)
+        assert v.energy == pytest.approx(10.0 - 0.05)
+        assert v.energy_spent == pytest.approx(0.05)
+        v.record_collection(0.5)
+        v.dock(np.array([0.0, 0.0]))
+        assert not v.airborne
+        assert v.energy == pytest.approx(10.0)  # recharged
+        assert v.energy_charged == pytest.approx(0.05)
+        assert v.releases == 1
+        assert v.effective_releases == 1
+
+    def test_ineffective_release_not_counted(self):
+        v = self.make()
+        v.launch(np.zeros(2))
+        v.dock(np.zeros(2))
+        assert v.releases == 1
+        assert v.effective_releases == 0
+
+    def test_cannot_launch_twice(self):
+        v = self.make()
+        v.launch(np.zeros(2))
+        with pytest.raises(RuntimeError):
+            v.launch(np.zeros(2))
+
+    def test_cannot_fly_docked(self):
+        v = self.make()
+        with pytest.raises(RuntimeError):
+            v.fly(np.ones(2), 1.0, 0.01)
+
+    def test_cannot_dock_when_docked(self):
+        v = self.make()
+        with pytest.raises(RuntimeError):
+            v.dock(np.zeros(2))
+
+    def test_energy_never_negative(self):
+        v = self.make()
+        v.launch(np.zeros(2))
+        v.fly(np.array([5000.0, 0.0]), metres=5000.0, energy_per_metre=0.01)
+        assert v.energy == 0.0
+        assert v.exhausted

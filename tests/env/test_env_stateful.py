@@ -1,0 +1,112 @@
+"""Stateful property testing of the environment (hypothesis state machine).
+
+The machine drives random *valid* actions through the env and checks
+global invariants after every transition:
+
+* data conservation: collected + remaining == initial;
+* energy ledger: spent and charged only grow; batteries within [0, e0];
+* docked UAVs sit exactly on their carriers; airborne UAVs stay in the
+  workzone and outside buildings' interiors cannot be entered;
+* metric bounds; wait-timer/airborne consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.env import AirGroundEnv, EnvConfig
+from repro.maps import build_stop_graph
+
+from ..conftest import make_toy_campus
+
+_CAMPUS = make_toy_campus()
+_STOPS = build_stop_graph(_CAMPUS, interval=75.0)
+
+
+class AirGroundMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.env = AirGroundEnv(
+            _CAMPUS, EnvConfig(num_ugvs=2, num_uavs_per_ugv=2, episode_len=200),
+            stops=_STOPS, seed=0)
+        self.result = None
+        self.initial_total = 0.0
+        self.collected_total = 0.0
+
+    @initialize(seed=st.integers(0, 2**16))
+    def start(self, seed):
+        self.result = self.env.reset(seed)
+        self.initial_total = sum(s.initial_data for s in self.env.sensors)
+        self.collected_total = 0.0
+
+    # ------------------------------------------------------------------
+    @rule(choice=st.randoms(use_true_random=False))
+    def step_random_valid(self, choice):
+        env = self.env
+        actions = []
+        for obs in self.result.ugv_observations:
+            feasible = np.nonzero(obs.action_mask)[0]
+            actions.append(int(choice.choice(list(feasible))))
+        uav_actions = []
+        for o in self.result.uav_observations:
+            if o is None:
+                uav_actions.append(None)
+            else:
+                uav_actions.append(np.array([choice.uniform(-120, 120),
+                                             choice.uniform(-120, 120)]))
+        self.result = env.step(actions, uav_actions)
+        self.collected_total += self.result.info["collected_this_step"]
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def data_conserved(self):
+        if not self.env.sensors:
+            return
+        remaining = sum(s.remaining for s in self.env.sensors)
+        assert self.collected_total + remaining == pytest.approx(self.initial_total)
+
+    @invariant()
+    def energy_ledger_sane(self):
+        for uav in self.env.uavs:
+            assert 0.0 <= uav.energy <= uav.max_energy + 1e-9
+            assert uav.energy_spent >= 0.0
+            assert uav.energy_charged >= 0.0
+            assert uav.effective_releases <= uav.releases
+
+    @invariant()
+    def docked_uavs_on_carriers(self):
+        for uav in self.env.uavs:
+            if self.env.sensors and not uav.airborne:
+                carrier = self.env.ugvs[uav.carrier]
+                np.testing.assert_allclose(uav.position, carrier.position)
+
+    @invariant()
+    def airborne_uavs_in_workzone(self):
+        for uav in self.env.uavs:
+            if uav.airborne:
+                assert 0.0 <= uav.position[0] <= self.env.campus.width
+                assert 0.0 <= uav.position[1] <= self.env.campus.height
+
+    @invariant()
+    def waiting_consistency(self):
+        # A UGV with airborne UAVs must be in its waiting window.
+        for uav in self.env.uavs:
+            if uav.airborne:
+                assert self.env.ugvs[uav.carrier].is_waiting
+
+    @invariant()
+    def metrics_bounded(self):
+        if not self.env.sensors:
+            return
+        snap = self.env.metrics()
+        assert 0.0 <= snap.psi <= 1.0 + 1e-9
+        assert 0.0 <= snap.xi <= 1.0 + 1e-9
+        assert 0.0 <= snap.zeta <= 1.0
+        assert snap.beta >= 0.0
+
+
+AirGroundMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None)
+TestAirGroundStateful = AirGroundMachine.TestCase

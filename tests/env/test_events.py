@@ -1,0 +1,116 @@
+"""Tests for the episode event log."""
+
+import numpy as np
+import pytest
+
+from repro.env import Event, EventLog
+
+
+class TestEventPrimitives:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event(0, "explode", 0)
+
+    def test_emit_and_len(self):
+        log = EventLog()
+        log.emit(0, "release", 1)
+        log.emit(1, "collect", 2, 0.5, (10.0, 20.0))
+        assert len(log) == 2
+        assert log.events[1].position == (10.0, 20.0)
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(0, "reset", -1)
+        log.clear()
+        assert len(log) == 0
+
+    def test_of_kind_validates(self):
+        with pytest.raises(ValueError):
+            EventLog().of_kind("explode")
+
+    def test_counts_and_total(self):
+        log = EventLog()
+        log.emit(0, "collect", 0, 0.3)
+        log.emit(1, "collect", 1, 0.7)
+        log.emit(1, "crash", 0)
+        assert log.counts() == {"collect": 2, "crash": 1}
+        assert log.total("collect") == pytest.approx(1.0)
+
+    def test_for_agent(self):
+        log = EventLog()
+        log.emit(0, "collect", 0, 0.3)
+        log.emit(0, "collect", 1, 0.4)
+        assert len(log.for_agent("collect", 0)) == 1
+
+    def test_release_effectiveness(self):
+        log = EventLog()
+        log.emit(3, "dock", 0, 0.5)  # collected during flight
+        log.emit(3, "dock", 1, 0.0)  # empty flight
+        assert log.release_effectiveness() == pytest.approx(0.5)
+        assert EventLog().release_effectiveness() == 0.0
+
+    def test_crash_hotspots(self):
+        log = EventLog()
+        for _ in range(3):
+            log.emit(0, "crash", 0, position=(101.0, 99.0))
+        log.emit(0, "crash", 1, position=(500.0, 500.0))
+        hotspots = log.crash_hotspots(top=1)
+        assert hotspots[0] == ((100.0, 100.0), 3)
+
+    def test_collection_timeline(self):
+        log = EventLog()
+        log.emit(2, "collect", 0, 0.6)
+        log.emit(2, "collect", 1, 0.4)
+        log.emit(5, "collect", 0, 1.0)
+        timeline = log.collection_timeline(horizon=6)
+        assert timeline[2] == pytest.approx(1.0)
+        assert timeline[5] == pytest.approx(1.0)
+        assert timeline.sum() == pytest.approx(2.0)
+
+    def test_summary_format(self):
+        log = EventLog()
+        log.emit(0, "release", 0)
+        text = log.summary()
+        assert "release=1" in text and "collected=" in text
+
+
+class TestEnvIntegration:
+    def test_env_emits_full_lifecycle(self, toy_env):
+        log = EventLog()
+        toy_env.attach_event_log(log)
+        toy_env.reset()
+        assert log.counts().get("reset") == 1
+
+        # Release -> collect -> dock.
+        toy_env.step([toy_env.release_action] * 2, [None] * 4)
+        assert log.counts().get("release") == 2
+        uav = toy_env.uavs[0]
+        uav.position = toy_env.sensors[0].position + np.array([5.0, 0.0])
+        toy_env.step([g.stop for g in toy_env.ugvs], [None] * 4)
+        assert log.total("collect") > 0
+        for _ in range(toy_env.config.release_duration):
+            if toy_env.t >= toy_env.config.episode_len:
+                break
+            toy_env.step([g.stop for g in toy_env.ugvs], [None] * 4)
+        assert log.counts().get("dock", 0) == 4
+        assert 0.0 < log.release_effectiveness() <= 1.0
+
+    def test_move_events_record_distance(self, toy_env):
+        log = EventLog()
+        toy_env.attach_event_log(log)
+        toy_env.reset()
+        target = toy_env.stops.neighbors(toy_env.ugvs[0].stop)[0]
+        actions = [g.stop for g in toy_env.ugvs]
+        actions[0] = target
+        toy_env.step(actions, [None] * 4)
+        moves = log.of_kind("move")
+        assert len(moves) == 1
+        assert moves[0].value > 0
+
+    def test_detach_stops_logging(self, toy_env):
+        log = EventLog()
+        toy_env.attach_event_log(log)
+        toy_env.reset()
+        toy_env.attach_event_log(None)
+        toy_env.step([toy_env.release_action] * 2, [None] * 4)
+        assert log.counts().get("release") is None

@@ -1,0 +1,109 @@
+"""Tests for the Section III-B metric formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.env import (
+    MetricSnapshot,
+    collection_ratio,
+    cooperation_factor,
+    efficiency,
+    energy_ratio,
+    jain_fairness,
+)
+
+
+class TestCollectionRatio:
+    def test_nothing_collected(self):
+        assert collection_ratio(np.ones(4), np.ones(4)) == 0.0
+
+    def test_everything_collected(self):
+        assert collection_ratio(np.ones(4), np.zeros(4)) == pytest.approx(1.0)
+
+    def test_partial(self):
+        initial = np.array([1.0, 1.0])
+        remaining = np.array([0.5, 1.0])
+        assert collection_ratio(initial, remaining) == pytest.approx(0.25)
+
+    def test_requires_positive_total(self):
+        with pytest.raises(ValueError):
+            collection_ratio(np.zeros(2), np.zeros(2))
+
+
+class TestJainFairness:
+    def test_perfectly_even_near_one(self):
+        initial = np.ones(10)
+        remaining = np.full(10, 0.5)
+        assert jain_fairness(initial, remaining) == pytest.approx(1.0, abs=1e-5)
+
+    def test_single_sensor_collected_is_one_over_p(self):
+        initial = np.ones(5)
+        remaining = initial.copy()
+        remaining[0] = 0.0  # only sensor 0 fully collected
+        assert jain_fairness(initial, remaining) == pytest.approx(1.0 / 5.0, abs=1e-5)
+
+    def test_nothing_collected_is_zero(self):
+        assert jain_fairness(np.ones(4), np.ones(4)) == pytest.approx(0.0)
+
+    def test_more_even_is_fairer(self):
+        initial = np.ones(4)
+        even = jain_fairness(initial, np.full(4, 0.5))
+        uneven = jain_fairness(initial, np.array([0.0, 1.0, 1.0, 1.0]))
+        assert even > uneven
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(np.float64, 6, elements=st.floats(0.0, 1.0)))
+    def test_bounded_zero_one(self, ratios):
+        initial = np.ones(6)
+        remaining = 1.0 - ratios
+        xi = jain_fairness(initial, remaining)
+        assert -1e-9 <= xi <= 1.0 + 1e-9
+
+
+class TestCooperationFactor:
+    def test_no_releases_is_zero(self):
+        assert cooperation_factor(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_all_effective(self):
+        assert cooperation_factor(np.array([2, 3]), np.array([2, 3])) == pytest.approx(1.0)
+
+    def test_partial(self):
+        assert cooperation_factor(np.array([4]), np.array([1])) == pytest.approx(0.25)
+
+
+class TestEnergyRatio:
+    def test_formula(self):
+        # beta = spent / (e0_total + charged)
+        assert energy_ratio(5.0, 20.0, 5.0) == pytest.approx(0.2)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            energy_ratio(1.0, 0.0, 0.0)
+
+
+class TestEfficiency:
+    def test_formula(self):
+        assert efficiency(0.5, 0.5, 0.5, 0.25) == pytest.approx(0.5)
+
+    def test_zero_beta_guarded(self):
+        assert np.isfinite(efficiency(1.0, 1.0, 1.0, 0.0))
+
+    def test_snapshot(self):
+        snap = MetricSnapshot(psi=0.6, xi=0.5, zeta=0.7, beta=0.21)
+        assert snap.efficiency == pytest.approx(0.6 * 0.5 * 0.7 / 0.21)
+        d = snap.as_dict()
+        assert set(d) == {"psi", "xi", "zeta", "beta", "efficiency"}
+        text = str(snap)
+        assert "λ=" in text and "ψ=" in text
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, 5, elements=st.floats(0.1, 2.0)),
+       arrays(np.float64, 5, elements=st.floats(0.0, 1.0)))
+def test_psi_bounded_when_remaining_below_initial(initial, fraction):
+    remaining = initial * fraction
+    psi = collection_ratio(initial, remaining)
+    assert -1e-9 <= psi <= 1.0 + 1e-9

@@ -1,0 +1,130 @@
+"""Tests for observation construction (Eqns. 9-11)."""
+
+import numpy as np
+import pytest
+
+from repro.env import AirGroundEnv, EnvConfig
+from repro.env.observation import ObservationBuilder
+
+
+@pytest.fixture()
+def builder(toy_campus, toy_stops):
+    return ObservationBuilder(toy_campus, toy_stops, EnvConfig(num_ugvs=2, num_uavs_per_ugv=1))
+
+
+class TestStaticStructures:
+    def test_obstacle_raster_marks_buildings(self, builder, toy_campus):
+        cell = builder.config.uav_obs_cell
+        # Centre of building A (125, 125) must be an obstacle cell.
+        c, r = int(125 // cell), int(125 // cell)
+        assert builder.obstacles[r, c] == 1.0
+        # An open road junction (200, 200) must be free.
+        c, r = int(200 // cell), int(200 // cell)
+        assert builder.obstacles[r, c] == 0.0
+
+    def test_coverage_radius(self, builder, toy_stops, toy_campus):
+        for b in range(toy_stops.num_stops):
+            for p in range(toy_campus.num_sensors):
+                gap = np.linalg.norm(toy_stops.positions[b] - toy_campus.sensor_positions[p])
+                assert builder.coverage[b, p] == (gap <= builder.config.stop_coverage_radius)
+
+    def test_reachability_under_budget(self, builder, toy_stops):
+        metres = toy_stops.metre_distances()
+        assert (builder.reachable == (metres <= builder.config.ugv_max_step)).all()
+
+    def test_stop_data_aggregates_remaining(self, builder, toy_campus):
+        remaining = np.arange(1.0, toy_campus.num_sensors + 1.0)
+        per_stop = builder.stop_data(remaining)
+        assert per_stop.shape == (builder.stops.num_stops,)
+        np.testing.assert_allclose(per_stop, builder.coverage @ remaining)
+
+
+class TestUGVObservation:
+    def test_mask_constant_for_unseen(self, toy_env):
+        res = toy_env.reset()
+        obs = res.ugv_observations[0]
+        cfg = toy_env.config
+        # Far-away stops start masked with the constant.
+        builder = toy_env.builder
+        unseen = ~builder.refresh[obs.current_stop]
+        assert (obs.stop_features[unseen, 2] == cfg.mask_constant).all()
+
+    def test_seen_stops_have_real_values(self, toy_env):
+        res = toy_env.reset()
+        obs = res.ugv_observations[0]
+        builder = toy_env.builder
+        seen = builder.refresh[obs.current_stop]
+        values = obs.stop_features[seen, 2]
+        assert (values != toy_env.config.mask_constant).any() or (values >= 0).all()
+
+    def test_positions_normalised(self, toy_env):
+        res = toy_env.reset()
+        obs = res.ugv_observations[0]
+        assert (obs.stop_features[:, :2] >= 0).all()
+        assert (obs.stop_features[:, :2] <= 1).all()
+        assert (obs.ugv_positions >= 0).all() and (obs.ugv_positions <= 1).all()
+
+    def test_action_mask_semantics(self, toy_env):
+        res = toy_env.reset()
+        obs = res.ugv_observations[0]
+        b = toy_env.num_stops
+        assert obs.action_mask.shape == (b + 1,)
+        assert obs.action_mask[obs.current_stop]  # staying allowed
+        assert obs.action_mask[b]  # release allowed
+        metres = toy_env.stops.metre_distances()
+        for stop in range(b):
+            if obs.action_mask[stop]:
+                assert metres[obs.current_stop, stop] <= toy_env.config.ugv_max_step
+
+    def test_flat_dimension(self, toy_env):
+        res = toy_env.reset()
+        obs = res.ugv_observations[0]
+        expected = toy_env.num_stops * 3 + toy_env.config.num_ugvs * 2
+        assert obs.flat().shape == (expected,)
+
+
+class TestUAVObservation:
+    def _airborne_obs(self, toy_env):
+        res = toy_env.reset()
+        release = toy_env.release_action
+        res = toy_env.step([release] * toy_env.config.num_ugvs,
+                           [None] * toy_env.config.num_uavs)
+        obs = [o for o in res.uav_observations if o is not None]
+        assert obs
+        return obs[0]
+
+    def test_grid_shape_and_channels(self, toy_env):
+        obs = self._airborne_obs(toy_env)
+        size = toy_env.config.uav_obs_size
+        assert obs.grid.shape == (3, size, size)
+        assert obs.channels == 3
+
+    def test_aux_vector(self, toy_env):
+        obs = self._airborne_obs(toy_env)
+        assert obs.aux.shape == (5,)
+        assert 0.0 <= obs.aux[0] <= 1.0 and 0.0 <= obs.aux[1] <= 1.0
+        assert obs.aux[2] == pytest.approx(1.0)  # freshly charged
+
+    def test_out_of_bounds_padded_as_obstacle(self, toy_campus, toy_stops):
+        # Put the UAV at the very corner: the crop must contain padded
+        # obstacle cells.
+        cfg = EnvConfig(num_ugvs=1, num_uavs_per_ugv=1, episode_len=5)
+        env = AirGroundEnv(toy_campus, cfg, stops=toy_stops, seed=0)
+        env.reset()
+        env.step([env.release_action], [None])
+        uav = env.uavs[0]
+        uav.position = np.array([0.0, 0.0])
+        obs = env._uav_observations()[0]
+        assert obs is not None
+        # Top-left corner of the crop is outside the map -> obstacle == 1.
+        assert obs.grid[0, 0, 0] == 1.0
+
+    def test_presence_channel_excludes_self(self, toy_campus, toy_stops):
+        cfg = EnvConfig(num_ugvs=1, num_uavs_per_ugv=2, episode_len=5)
+        env = AirGroundEnv(toy_campus, cfg, stops=toy_stops, seed=0)
+        env.reset()
+        env.step([env.release_action], [None, None])
+        # Both UAVs at the same spot: each sees exactly one other UAV.
+        obs = env._uav_observations()
+        radius = cfg.uav_obs_radius
+        assert obs[0].grid[2, radius, radius] == pytest.approx(1.0)

@@ -1,0 +1,92 @@
+"""CLI tests (fast paths only; heavy experiment paths are benchmarks)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ScalePreset
+from repro.experiments.presets import PRESETS
+
+
+@pytest.fixture(autouse=True)
+def tiny_preset(monkeypatch):
+    """Swap the 'smoke' preset for a seconds-scale one during CLI tests."""
+    tiny = ScalePreset("smoke", campus_scale=0.25, episode_len=6,
+                       train_iterations=1, episodes_per_iteration=1,
+                       eval_episodes=1, hidden_dim=8, ppo_epochs=1,
+                       minibatch_size=16)
+    monkeypatch.setitem(PRESETS, "smoke", tiny)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(["train", "garl", "--campus", "ucla",
+                                          "--ugvs", "6"])
+        assert args.method == "garl"
+        assert args.campus == "ucla"
+        assert args.ugvs == 6
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "alphago"])
+
+
+class TestCommands:
+    def test_train_prints_metrics(self, capsys):
+        assert main(["train", "random", "--ugvs", "2", "--uavs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "λ=" in out and "random on kaist" in out
+
+    def test_train_save_and_evaluate(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["train", "gat", "--ugvs", "2", "--uavs", "1",
+                     "--iterations", "1", "--save", str(ckpt)]) == 0
+        assert (ckpt / "ugv_policy.npz").exists()
+        assert main(["evaluate", "gat", str(ckpt), "--ugvs", "2",
+                     "--uavs", "1", "--episodes", "1"]) == 0
+        assert "λ=" in capsys.readouterr().out
+
+    def test_complexity_command(self, capsys):
+        assert main(["complexity", "--methods", "gat", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "ms/step" in out
+
+    def test_sweep_writes_records(self, tmp_path, capsys):
+        out_file = tmp_path / "records.json"
+        assert main(["sweep", "--methods", "random", "--ugv-counts", "2",
+                     "--uav-counts", "1", "--out", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data and data[0]["method"] == "random"
+
+
+class TestRenderCommand:
+    def test_render_campus_only(self, tmp_path, capsys):
+        out = tmp_path / "campus.svg"
+        assert main(["render", "--campus", "kaist", "--out", str(out)]) == 0
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_render_with_method_trace(self, tmp_path):
+        out = tmp_path / "trace.svg"
+        assert main(["render", "--campus", "kaist", "--method", "random",
+                     "--out", str(out)]) == 0
+        svg = out.read_text()
+        assert "<polyline" in svg
+
+
+class TestMethodSeed:
+    def test_distinct_methods_get_distinct_seeds(self):
+        from repro.experiments import method_seed
+
+        seeds = {method_seed(m, 0) for m in ("garl", "gat", "dgn", "random")}
+        assert len(seeds) == 4
+
+    def test_deterministic(self):
+        from repro.experiments import method_seed
+
+        assert method_seed("garl", 3) == method_seed("garl", 3)

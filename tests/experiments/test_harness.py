@@ -1,0 +1,186 @@
+"""Tests for the experiments harness: presets, records, runner, tables."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PRESETS,
+    ResultRecord,
+    ScalePreset,
+    coalition_series,
+    format_ablation,
+    format_coalition_series,
+    format_complexity,
+    format_layer_sweep,
+    format_trajectory_stats,
+    get_campus,
+    get_preset,
+    load_records,
+    run_method,
+    save_records,
+    trajectory_statistics,
+)
+from repro.experiments.paper_values import TABLE2, TABLE3, TABLE4
+
+
+TINY = ScalePreset("tiny", campus_scale=0.25, episode_len=8,
+                   train_iterations=1, episodes_per_iteration=1,
+                   eval_episodes=1, hidden_dim=8, ppo_epochs=1,
+                   minibatch_size=16)
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"smoke", "small", "paper"}
+        assert get_preset("smoke").campus_scale == 0.3
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_preset("galactic")
+
+    def test_env_config_generation(self):
+        cfg = get_preset("smoke").env_config(num_ugvs=6, num_uavs_per_ugv=3)
+        assert cfg.num_ugvs == 6 and cfg.num_uavs_per_ugv == 3
+        assert cfg.episode_len == get_preset("smoke").episode_len
+
+    def test_garl_config_overrides(self):
+        cfg = get_preset("smoke").garl_config(mc_gcn_layers=5)
+        assert cfg.mc_gcn_layers == 5
+        assert cfg.hidden_dim == get_preset("smoke").hidden_dim
+
+    def test_paper_preset_matches_section5(self):
+        paper = get_preset("paper")
+        assert paper.campus_scale == 1.0
+        assert paper.episode_len == 100  # T = 100 timeslots
+
+
+class TestRecords:
+    def test_round_trip(self, tmp_path):
+        records = [
+            ResultRecord("garl", "kaist", 4, 2,
+                         {"efficiency": 0.9, "psi": 0.5, "xi": 0.6, "zeta": 0.7, "beta": 0.3},
+                         extra={"sweep": {"axis": "ugvs", "value": 4}}),
+        ]
+        path = save_records(records, tmp_path / "out" / "results.json")
+        loaded = load_records(path)
+        assert loaded[0].method == "garl"
+        assert loaded[0].efficiency == 0.9
+        assert loaded[0].extra["sweep"]["value"] == 4
+
+
+class TestRunner:
+    def test_campus_cache_returns_same_objects(self):
+        a = get_campus("kaist", 0.25)
+        b = get_campus("kaist", 0.25)
+        assert a[0] is b[0] and a[1] is b[1]
+
+    def test_run_method_record_schema(self):
+        record = run_method("random", "kaist", TINY, num_ugvs=2,
+                            num_uavs_per_ugv=1, seed=0)
+        assert record.method == "random"
+        assert record.campus == "kaist"
+        assert set(record.metrics) == {"psi", "xi", "zeta", "beta", "efficiency"}
+        assert record.extra["train_seconds"] >= 0.0
+
+    def test_run_method_trains_learned_agent(self):
+        record = run_method("gat", "kaist", TINY, num_ugvs=2,
+                            num_uavs_per_ugv=1, seed=0)
+        assert np.isfinite(record.efficiency)
+
+
+class TestTrajectoryStatistics:
+    def _trace(self, env, positions_per_step):
+        return [{"t": t, "ugv_positions": np.asarray(p),
+                 "uav_positions": np.zeros((env.config.num_uavs, 2)),
+                 "uav_airborne": np.zeros(env.config.num_uavs, dtype=bool)}
+                for t, p in enumerate(positions_per_step)]
+
+    def test_stationary_trace(self, toy_env):
+        toy_env.reset()
+        pos = np.array([g.position for g in toy_env.ugvs])
+        stats = trajectory_statistics(self._trace(toy_env, [pos, pos, pos]), toy_env)
+        assert stats["ugv_travel_metres"] == 0.0
+        assert stats["stops_visited"] >= 1
+        # Both UGVs at the same stop -> full overlap.
+        assert stats["overlap"] == pytest.approx(1.0)
+
+    def test_split_ugvs_have_no_overlap(self, toy_env):
+        toy_env.reset()
+        p1 = toy_env.stops.positions[0]
+        p2 = toy_env.stops.positions[-1]
+        trace = self._trace(toy_env, [np.stack([p1, p2])])
+        stats = trajectory_statistics(trace, toy_env)
+        assert stats["overlap"] == 0.0
+        assert stats["stops_visited"] == 2
+
+    def test_travel_accumulates(self, toy_env):
+        toy_env.reset()
+        a = np.zeros((2, 2))
+        b = np.array([[3.0, 4.0], [0.0, 0.0]])
+        stats = trajectory_statistics(self._trace(toy_env, [a, b]), toy_env)
+        assert stats["ugv_travel_metres"] == pytest.approx(5.0)
+
+
+class TestFormatting:
+    def _records(self):
+        metrics = {"efficiency": 0.5, "psi": 0.4, "xi": 0.3, "zeta": 0.6, "beta": 0.2}
+        recs = []
+        for layers in (1, 2, 3):
+            r = ResultRecord("garl", "kaist", 4, 2, dict(metrics))
+            r.extra["sweep"] = {"which": "mc", "layers": layers}
+            recs.append(r)
+        return recs
+
+    def test_layer_sweep_table(self):
+        text = format_layer_sweep(self._records(), which="mc")
+        assert "LMC=1" in text
+        assert "λ" in text and "β" in text
+
+    def test_ablation_table(self):
+        metrics = {"efficiency": 0.5, "psi": 0.4, "xi": 0.3, "zeta": 0.6, "beta": 0.2}
+        recs = [ResultRecord(m, "kaist", 4, 2, dict(metrics))
+                for m in ("garl", "garl_wo_mc")]
+        text = format_ablation(recs)
+        assert "GARL w/o MC" in text
+
+    def test_coalition_series_and_format(self):
+        metrics = {"efficiency": 0.5, "psi": 0.4, "xi": 0.3, "zeta": 0.6, "beta": 0.2}
+        recs = []
+        for u in (2, 4):
+            r = ResultRecord("garl", "kaist", u, 2, dict(metrics))
+            r.extra["sweep"] = {"axis": "ugvs", "value": u}
+            recs.append(r)
+        series = coalition_series(recs, "ugvs")
+        assert series["garl"] == [(2, 0.5), (4, 0.5)]
+        text = format_coalition_series(recs, "ugvs")
+        assert "U=2" in text and "U=4" in text
+
+    def test_complexity_table(self):
+        rows = [{"method": "garl", "campus": "kaist", "ms_per_step": 1.23,
+                 "parameters": 4567}]
+        text = format_complexity(rows)
+        assert "GARL" in text and "4567" in text
+
+    def test_trajectory_stats_table(self):
+        stats = {"garl": {"stats": {"coverage": 0.8, "overlap": 0.1,
+                                    "ugv_travel_metres": 1234.5, "stops_visited": 20}}}
+        text = format_trajectory_stats(stats)
+        assert "GARL" in text and "0.800" in text
+
+
+class TestPaperValues:
+    def test_table3_orderings_as_published(self):
+        for campus in ("kaist", "ucla"):
+            rows = TABLE3[campus]
+            assert rows["garl"]["efficiency"] > rows["garl_wo_e"]["efficiency"]
+            assert rows["garl_wo_e"]["efficiency"] > rows["garl_wo_mc"]["efficiency"]
+            assert rows["garl_wo_mc"]["efficiency"] > rows["garl_wo_mc_e"]["efficiency"]
+
+    def test_table2_peaks_at_three_layers(self):
+        for which in ("mc", "e"):
+            series = TABLE2["kaist"][which]
+            assert max(series, key=series.get) == 3
+
+    def test_table4_contains_all_baselines(self):
+        assert set(TABLE4) == {"garl", "gam", "gat", "cubicmap", "aecomm",
+                               "dgn", "ic3net", "maddpg"}

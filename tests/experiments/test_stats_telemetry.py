@@ -1,0 +1,148 @@
+"""Tests for multi-seed statistics and training telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    MovingAverage,
+    ResultRecord,
+    TrainingLogger,
+    aggregate_records,
+    bootstrap_ci,
+    read_jsonl_log,
+)
+
+
+def make_record(eff: float, seed: int = 0, method: str = "garl") -> ResultRecord:
+    return ResultRecord(method, "kaist", 4, 2,
+                        {"efficiency": eff, "psi": eff / 2, "xi": 0.5,
+                         "zeta": 0.5, "beta": 0.25},
+                        seed=seed)
+
+
+class TestBootstrapCI:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_contains_true_mean_for_tight_sample(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 0.5, size=50)
+        low, high = bootstrap_ci(values)
+        assert low <= values.mean() <= high
+        assert high - low < 1.0
+
+    def test_wider_for_noisier_samples(self):
+        rng = np.random.default_rng(1)
+        tight = bootstrap_ci(rng.normal(0, 0.1, 40))
+        loose = bootstrap_ci(rng.normal(0, 5.0, 40))
+        assert (loose[1] - loose[0]) > (tight[1] - tight[0])
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+
+class TestAggregateRecords:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_records([])
+
+    def test_mixed_configurations_rejected(self):
+        a = make_record(0.5)
+        b = make_record(0.6, method="gat")
+        with pytest.raises(ValueError):
+            aggregate_records([a, b])
+
+    def test_mean_and_std(self):
+        records = [make_record(e, seed=i) for i, e in enumerate([0.4, 0.6, 0.5])]
+        agg = aggregate_records(records)
+        assert agg["efficiency"].mean == pytest.approx(0.5)
+        assert agg["efficiency"].n == 3
+        assert agg["efficiency"].ci_low <= 0.5 <= agg["efficiency"].ci_high
+        assert "±" in str(agg["efficiency"])
+
+    def test_all_metrics_present(self):
+        agg = aggregate_records([make_record(0.5), make_record(0.7, seed=1)])
+        assert set(agg) == {"efficiency", "psi", "xi", "zeta", "beta"}
+
+
+class TestMovingAverage:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverage(0)
+
+    def test_empty_value_zero(self):
+        assert MovingAverage(3).value == 0.0
+
+    def test_average_within_window(self):
+        ma = MovingAverage(3)
+        ma.update(1.0)
+        ma.update(2.0)
+        assert ma.value == pytest.approx(1.5)
+
+    def test_window_slides(self):
+        ma = MovingAverage(2)
+        for v in (1.0, 2.0, 10.0):
+            ma.update(v)
+        assert ma.value == pytest.approx(6.0)
+        assert len(ma) == 2
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        ma = MovingAverage(7)
+        for i, v in enumerate(values):
+            got = ma.update(v)
+            want = values[max(0, i - 6):i + 1].mean()
+            assert got == pytest.approx(want)
+
+
+class TestTrainingLogger:
+    def test_logs_train_records(self, tmp_path, toy_env):
+        from repro.core import GARLAgent, GARLConfig, PPOConfig
+
+        logger = TrainingLogger(tmp_path / "log.jsonl", tmp_path / "log.csv")
+        agent = GARLAgent(toy_env, GARLConfig(hidden_dim=8, mc_gcn_layers=1,
+                                              ecomm_layers=1,
+                                              ppo=PPOConfig(epochs=1, minibatch_size=16)))
+        agent.train(iterations=2, callback=logger)
+        entries = read_jsonl_log(tmp_path / "log.jsonl")
+        assert len(entries) == 2
+        assert entries[0]["iteration"] == 0
+        assert "metric_efficiency" in entries[0]
+        assert "loss_ugv_policy_loss" in entries[0]
+        assert (tmp_path / "log.csv").read_text().count("\n") == 3  # header + 2 rows
+
+    def test_logs_plain_dicts(self, tmp_path):
+        logger = TrainingLogger(tmp_path / "log.jsonl")
+        logger({"iteration": 0, "metrics": {"efficiency": 0.5}, "losses": {}})
+        logger({"iteration": 1, "metrics": {"efficiency": 0.7}, "losses": {}})
+        assert logger.smoothed("efficiency") == pytest.approx(0.6)
+
+    def test_smoothed_unknown_metric(self, tmp_path):
+        logger = TrainingLogger(tmp_path / "log.jsonl")
+        with pytest.raises(KeyError):
+            logger.smoothed("nope")
+
+
+class TestRunMethodSeeds:
+    def test_integration_tiny(self):
+        from repro.experiments import ScalePreset, run_method_seeds
+
+        tiny = ScalePreset("tiny", campus_scale=0.25, episode_len=6,
+                           train_iterations=1, episodes_per_iteration=1,
+                           eval_episodes=1, hidden_dim=8, ppo_epochs=1,
+                           minibatch_size=16)
+        records, agg = run_method_seeds("random", "kaist", tiny, seeds=(0, 1),
+                                        num_ugvs=2, num_uavs_per_ugv=1)
+        assert len(records) == 2
+        assert {r.seed for r in records} == {0, 1}
+        assert agg["psi"].n == 2

@@ -1,0 +1,95 @@
+"""Tests for campus JSON (de)serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.maps import (
+    build_stop_graph,
+    campus_from_dict,
+    campus_to_dict,
+    load_campus,
+    save_campus,
+)
+
+
+class TestRoundTrip:
+    def test_geometry_preserved(self, toy_campus, tmp_path):
+        path = save_campus(toy_campus, tmp_path / "toy.json")
+        loaded = load_campus(path)
+        assert loaded.name == toy_campus.name
+        assert loaded.width == toy_campus.width
+        assert loaded.num_buildings == toy_campus.num_buildings
+        np.testing.assert_allclose(loaded.sensor_positions,
+                                   toy_campus.sensor_positions)
+        np.testing.assert_array_equal(loaded.sensor_buildings,
+                                      toy_campus.sensor_buildings)
+
+    def test_roads_preserved(self, toy_campus, tmp_path):
+        path = save_campus(toy_campus, tmp_path / "toy.json")
+        loaded = load_campus(path)
+        assert loaded.roads.number_of_nodes() == toy_campus.roads.number_of_nodes()
+        assert loaded.roads.number_of_edges() == toy_campus.roads.number_of_edges()
+        # Edge lengths recomputed from positions must match originals.
+        total_orig = sum(d["length"] for *_, d in toy_campus.roads.edges(data=True))
+        total_new = sum(d["length"] for *_, d in loaded.roads.edges(data=True))
+        assert total_new == pytest.approx(total_orig)
+
+    def test_loaded_campus_is_simulatable(self, toy_campus, tmp_path):
+        from repro.env import AirGroundEnv, EnvConfig
+
+        loaded = load_campus(save_campus(toy_campus, tmp_path / "toy.json"))
+        stops = build_stop_graph(loaded, interval=75.0)
+        env = AirGroundEnv(loaded, EnvConfig(num_ugvs=1, num_uavs_per_ugv=1,
+                                             episode_len=3), stops=stops, seed=0)
+        res = env.reset()
+        res = env.step([env.release_action], [None])
+        assert res is not None
+
+    def test_json_is_plain(self, toy_campus, tmp_path):
+        path = save_campus(toy_campus, tmp_path / "toy.json")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert isinstance(payload["buildings"][0][0][0], float)
+
+
+class TestValidation:
+    def base(self, toy_campus):
+        return campus_to_dict(toy_campus)
+
+    def test_bad_version(self, toy_campus):
+        payload = self.base(toy_campus)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            campus_from_dict(payload)
+
+    def test_negative_extent(self, toy_campus):
+        payload = self.base(toy_campus)
+        payload["width"] = -1.0
+        with pytest.raises(ValueError):
+            campus_from_dict(payload)
+
+    def test_self_loop_edge(self, toy_campus):
+        payload = self.base(toy_campus)
+        payload["roads"]["edges"].append([0, 0])
+        with pytest.raises(ValueError):
+            campus_from_dict(payload)
+
+    def test_sensor_host_out_of_range(self, toy_campus):
+        payload = self.base(toy_campus)
+        payload["sensors"]["buildings"][0] = 999
+        with pytest.raises(ValueError):
+            campus_from_dict(payload)
+
+    def test_sensor_shape_mismatch(self, toy_campus):
+        payload = self.base(toy_campus)
+        payload["sensors"]["positions"] = [[1.0, 2.0, 3.0]]
+        with pytest.raises(ValueError):
+            campus_from_dict(payload)
+
+    def test_host_count_mismatch(self, toy_campus):
+        payload = self.base(toy_campus)
+        payload["sensors"]["buildings"] = payload["sensors"]["buildings"][:-1]
+        with pytest.raises(ValueError):
+            campus_from_dict(payload)

@@ -1,0 +1,94 @@
+"""Tests for road-network generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.maps import grid_network, irregular_network, largest_component, total_road_length
+
+
+class TestGridNetwork:
+    def test_node_and_edge_counts_without_drops(self):
+        g = grid_network(1000, 800, rows=4, cols=5)
+        assert g.number_of_nodes() == 20
+        # 4*4 horizontal + 3*5 vertical
+        assert g.number_of_edges() == 4 * 4 + 3 * 5
+
+    def test_connected(self):
+        g = grid_network(500, 500, rows=3, cols=3, drop_prob=0.3,
+                         rng=np.random.default_rng(0))
+        assert nx.is_connected(g)
+
+    def test_positions_within_extent(self):
+        g = grid_network(1000, 600, rows=3, cols=4)
+        for _, data in g.nodes(data=True):
+            x, y = data["pos"]
+            assert 0 <= x <= 1000 and 0 <= y <= 600
+
+    def test_edge_lengths_set(self):
+        g = grid_network(300, 300, rows=2, cols=2)
+        for _, _, data in g.edges(data=True):
+            assert data["length"] > 0
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            grid_network(100, 100, rows=1, cols=5)
+
+    def test_jitter_moves_nodes(self):
+        a = grid_network(500, 500, rows=3, cols=3, jitter=0.0)
+        b = grid_network(500, 500, rows=3, cols=3, jitter=30.0,
+                         rng=np.random.default_rng(1))
+        pos_a = np.array([a.nodes[n]["pos"] for n in a.nodes])
+        pos_b = np.array([b.nodes[n]["pos"] for n in b.nodes])
+        assert not np.allclose(np.sort(pos_a, axis=0), np.sort(pos_b, axis=0))
+
+
+class TestIrregularNetwork:
+    def test_connected_and_nonempty(self):
+        g = irregular_network(1000, 1000, junctions=30,
+                              rng=np.random.default_rng(0), connect_radius=300)
+        assert g.number_of_nodes() > 5
+        assert nx.is_connected(g)
+
+    def test_keep_region_respected(self):
+        def keep(x, y):
+            return x < 400
+
+        g = irregular_network(1000, 1000, junctions=25,
+                              rng=np.random.default_rng(1), connect_radius=300,
+                              keep_region=keep)
+        organic = [n for n, d in g.nodes(data=True)]
+        xs = [g.nodes[n]["pos"][0] for n in organic]
+        assert max(xs) < 400
+
+    def test_corridor_edge_present(self):
+        corridor = [((100.0, 500.0), (900.0, 500.0))]
+        g = irregular_network(1000, 1000, junctions=20,
+                              rng=np.random.default_rng(2), connect_radius=350,
+                              corridor_edges=corridor)
+        # The long corridor edge must survive into the largest component.
+        lengths = [d["length"] for _, _, d in g.edges(data=True)]
+        assert max(lengths) >= 750.0
+
+
+class TestHelpers:
+    def test_largest_component_keeps_biggest(self):
+        g = nx.Graph()
+        for i in range(3):
+            g.add_node(i, pos=(float(i), 0.0))
+        g.add_edge(0, 1, length=1.0)
+        g.add_node(10, pos=(99.0, 99.0))  # isolated
+        reduced = largest_component(g)
+        assert reduced.number_of_nodes() == 2
+        assert set(reduced.nodes) == {0, 1}  # relabelled from sorted order
+
+    def test_largest_component_empty_graph(self):
+        g = nx.Graph()
+        assert largest_component(g).number_of_nodes() == 0
+
+    def test_total_road_length(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0.0, 0.0))
+        g.add_node(1, pos=(3.0, 4.0))
+        g.add_edge(0, 1, length=5.0)
+        assert total_road_length(g) == pytest.approx(5.0)

@@ -1,0 +1,46 @@
+"""Numerical gradient checking against the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(ndarray)`` w.r.t. ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(op, x: np.ndarray, atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Assert analytic gradient of ``scalar = op(Tensor).sum()`` matches numeric.
+
+    ``op`` maps a Tensor to a Tensor of any shape; the check reduces with a
+    fixed random weighting so ties in sum() cannot hide errors.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    rng = np.random.default_rng(12345)
+    probe_shape = op(Tensor(x)).shape
+    probe = rng.normal(size=probe_shape)
+
+    def scalar(arr: np.ndarray) -> float:
+        return float((op(Tensor(arr)).numpy() * probe).sum())
+
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t)
+    (out * Tensor(probe)).sum().backward()
+    analytic = t.grad
+    numeric = numerical_gradient(scalar, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

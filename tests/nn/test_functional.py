@@ -1,0 +1,202 @@
+"""Tests for conv/pool kernels, indexing helpers and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from .gradcheck import check_gradient
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0):
+    """Reference convolution by explicit loops."""
+    n, c_in, h, wd = x.shape
+    c_out, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, c_out, oh, ow))
+    for ni in range(n):
+        for co in range(c_out):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[ni, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[ni, co, i, j] = (patch * w[co]).sum()
+            if b is not None:
+                out[ni, co] += b[co]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        got = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        want = naive_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_allclose(got.numpy(), want, atol=1e-10)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(1)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)))
+        check_gradient(lambda t: F.conv2d(t, w, stride=1, padding=1),
+                       rng.normal(size=(1, 2, 5, 5)))
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        check_gradient(lambda t: F.conv2d(x, t, stride=2, padding=0),
+                       rng.normal(size=(3, 2, 3, 3)))
+
+    def test_bias_gradient(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(2, 1, 4, 4)))
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        check_gradient(lambda t: F.conv2d(x, w, t), rng.normal(size=2))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel=2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), kernel=2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradient_goes_to_argmax(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        F.max_pool2d(t, 2).sum().backward()
+        grad = t.grad[0, 0]
+        assert grad.sum() == 4.0
+        assert grad[1, 1] == 1.0 and grad[3, 3] == 1.0
+        assert grad[0, 0] == 0.0
+
+    def test_max_pool_gradcheck(self):
+        rng = np.random.default_rng(4)
+        # Distinct values so the argmax is stable under perturbation.
+        x = rng.permutation(36).reshape(1, 1, 6, 6).astype(float)
+        check_gradient(lambda t: F.max_pool2d(t, 2), x)
+
+    def test_avg_pool_gradcheck(self):
+        rng = np.random.default_rng(5)
+        check_gradient(lambda t: F.avg_pool2d(t, 2), rng.normal(size=(1, 2, 4, 4)))
+
+
+class TestIndexing:
+    def test_gather_picks_elements(self):
+        x = np.arange(12.0).reshape(3, 4)
+        idx = np.array([0, 3, 2])
+        out = F.gather(Tensor(x), idx, axis=-1).numpy()
+        np.testing.assert_allclose(out, [0.0, 7.0, 10.0])
+
+    def test_gather_gradient(self):
+        rng = np.random.default_rng(6)
+        idx = np.array([1, 0, 2])
+        check_gradient(lambda t: F.gather(t, idx, axis=-1), rng.normal(size=(3, 4)))
+
+    def test_embedding_lookup(self):
+        table = Tensor(np.arange(10.0).reshape(5, 2), requires_grad=True)
+        out = F.embedding_lookup(table, np.array([0, 0, 4]))
+        np.testing.assert_allclose(out.numpy(), [[0, 1], [0, 1], [8, 9]])
+        out.sum().backward()
+        np.testing.assert_allclose(table.grad[0], [2.0, 2.0])  # duplicates accumulate
+        np.testing.assert_allclose(table.grad[4], [1.0, 1.0])
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert F.mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_mse_gradient(self):
+        rng = np.random.default_rng(7)
+        target = rng.normal(size=(3, 2))
+        check_gradient(lambda t: F.mse_loss(t, target), rng.normal(size=(3, 2)))
+
+    def test_huber_quadratic_region_matches_half_mse(self):
+        pred = Tensor(np.array([0.3, -0.2]))
+        target = np.zeros(2)
+        huber = F.huber_loss(pred, target, delta=1.0).item()
+        assert huber == pytest.approx(0.5 * (0.09 + 0.04) / 2)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([10.0]))
+        # 0.5*delta^2 + delta*(|x|-delta) with delta=1 -> 0.5 + 9 = 9.5
+        assert F.huber_loss(pred, np.zeros(1), delta=1.0).item() == pytest.approx(9.5)
+
+    def test_huber_gradient(self):
+        check_gradient(lambda t: F.huber_loss(t, np.zeros(4), delta=1.0),
+                       np.array([0.3, -0.4, 2.0, -3.0]))
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        assert F.cross_entropy(logits, np.array([0, 3])).item() == pytest.approx(np.log(4))
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(8)
+        targets = np.array([1, 0, 2])
+        check_gradient(lambda t: F.cross_entropy(t, targets), rng.normal(size=(3, 4)))
+
+    def test_nll_matches_cross_entropy(self):
+        rng = np.random.default_rng(9)
+        logits = rng.normal(size=(3, 5))
+        targets = np.array([0, 4, 2])
+        ce = F.cross_entropy(Tensor(logits), targets).item()
+        nll = F.nll_loss(Tensor(logits).log_softmax(), targets).item()
+        assert ce == pytest.approx(nll)
+
+    def test_bce_with_logits_matches_reference(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(4, 3)) * 3.0
+        z = (rng.random((4, 3)) > 0.5).astype(float)
+        got = F.binary_cross_entropy_with_logits(Tensor(x), z).item()
+        p = 1.0 / (1.0 + np.exp(-x))
+        want = -(z * np.log(p) + (1 - z) * np.log(1 - p)).mean()
+        assert got == pytest.approx(want, rel=1e-9)
+
+    def test_bce_gradient(self):
+        rng = np.random.default_rng(11)
+        z = (rng.random((3, 2)) > 0.5).astype(float)
+        check_gradient(lambda t: F.binary_cross_entropy_with_logits(t, z),
+                       rng.normal(size=(3, 2)))
+
+
+class TestConvEdgeCases:
+    def test_stride_three(self):
+        rng = np.random.default_rng(20)
+        x = rng.normal(size=(1, 1, 9, 9))
+        w = rng.normal(size=(1, 1, 3, 3))
+        got = F.conv2d(Tensor(x), Tensor(w), stride=3)
+        want = naive_conv2d(x, w, stride=3)
+        np.testing.assert_allclose(got.numpy(), want, atol=1e-10)
+
+    def test_one_by_one_kernel(self):
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(5, 3, 1, 1))
+        got = F.conv2d(Tensor(x), Tensor(w))
+        want = naive_conv2d(x, w)
+        np.testing.assert_allclose(got.numpy(), want, atol=1e-10)
+
+    def test_overlapping_pool_stride(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel=2, stride=1)
+        assert out.shape == (1, 1, 3, 3)
+        np.testing.assert_allclose(out.numpy()[0, 0, 0], [5.0, 6.0, 7.0])
+
+    def test_overlapping_pool_gradient(self):
+        rng = np.random.default_rng(22)
+        x = rng.permutation(25).reshape(1, 1, 5, 5).astype(float)
+        check_gradient(lambda t: F.max_pool2d(t, kernel=3, stride=1), x)

@@ -1,0 +1,192 @@
+"""Tests for GCN/GAT layers, the normalised Laplacian and attention blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GATLayer,
+    GCNLayer,
+    ScaledDotProductAttention,
+    SelfAttentionBlock,
+    Tensor,
+    normalized_laplacian,
+)
+
+
+def ring_adjacency(n: int) -> np.ndarray:
+    adj = np.zeros((n, n))
+    for i in range(n):
+        adj[i, (i + 1) % n] = adj[(i + 1) % n, i] = 1.0
+    return adj
+
+
+class TestNormalizedLaplacian:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalized_laplacian(np.zeros((2, 3)))
+
+    def test_symmetric(self):
+        lap = normalized_laplacian(ring_adjacency(6))
+        np.testing.assert_allclose(lap, lap.T)
+
+    def test_isolated_node_keeps_self_loop(self):
+        adj = np.zeros((3, 3))
+        lap = normalized_laplacian(adj)
+        np.testing.assert_allclose(lap, np.eye(3))
+
+    def test_constant_vector_preserved_on_regular_graph(self):
+        # For a k-regular graph the normalised operator has eigenvalue 1
+        # on the constant vector.
+        lap = normalized_laplacian(ring_adjacency(8))
+        ones = np.ones(8)
+        np.testing.assert_allclose(lap @ ones, ones, atol=1e-12)
+
+    def test_spectrum_bounded(self):
+        rng = np.random.default_rng(0)
+        adj = (rng.random((10, 10)) > 0.6).astype(float)
+        adj = np.maximum(adj, adj.T)
+        np.fill_diagonal(adj, 0)
+        eigs = np.linalg.eigvalsh(normalized_laplacian(adj))
+        assert eigs.max() <= 1.0 + 1e-9
+        assert eigs.min() >= -1.0 - 1e-9
+
+
+class TestGCNLayer:
+    def test_output_shape(self):
+        lap = normalized_laplacian(ring_adjacency(5))
+        layer = GCNLayer(3, 7, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((5, 3))), lap)
+        assert out.shape == (5, 7)
+
+    def test_isolated_graph_acts_nodewise(self):
+        # With identity Laplacian, two nodes with equal features get
+        # identical outputs.
+        lap = np.eye(4)
+        layer = GCNLayer(2, 3, rng=np.random.default_rng(1))
+        x = np.array([[1.0, 2.0], [1.0, 2.0], [0.0, 0.0], [5.0, 5.0]])
+        out = layer(Tensor(x), lap).numpy()
+        np.testing.assert_allclose(out[0], out[1])
+
+    def test_unknown_activation_raises(self):
+        layer = GCNLayer(2, 2, activation="bogus")
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 2))), np.eye(2))
+
+    def test_gradients_flow(self):
+        lap = normalized_laplacian(ring_adjacency(4))
+        layer = GCNLayer(2, 2, rng=np.random.default_rng(2), activation="tanh")
+        out = layer(Tensor(np.random.default_rng(3).normal(size=(4, 2))), lap)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_propagates_neighbour_information(self):
+        # A feature planted on one node must reach its ring neighbours.
+        lap = normalized_laplacian(ring_adjacency(5))
+        layer = GCNLayer(1, 1, rng=np.random.default_rng(4), activation="none")
+        x = np.zeros((5, 1))
+        x[0, 0] = 1.0
+        out = layer(Tensor(x), lap).numpy().ravel()
+        assert abs(out[1]) > 1e-8 and abs(out[4]) > 1e-8
+        assert abs(out[2]) < 1e-12  # two hops away: untouched after 1 layer
+
+
+class TestGATLayer:
+    def test_output_shape_and_gradient(self):
+        adj = ring_adjacency(6)
+        layer = GATLayer(3, 4, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(6, 3))), adj)
+        assert out.shape == (6, 4)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+
+    def test_masked_nodes_do_not_influence(self):
+        # Node 0 of a disconnected pair only attends to itself: changing
+        # node 1's features must not change node 0's output.
+        adj = np.zeros((2, 2))
+        layer = GATLayer(2, 3, rng=np.random.default_rng(2))
+        x1 = np.array([[1.0, 2.0], [0.0, 0.0]])
+        x2 = np.array([[1.0, 2.0], [9.0, -9.0]])
+        out1 = layer(Tensor(x1), adj).numpy()
+        out2 = layer(Tensor(x2), adj).numpy()
+        np.testing.assert_allclose(out1[0], out2[0], atol=1e-9)
+
+    def test_outputs_bounded_by_tanh(self):
+        adj = ring_adjacency(4)
+        layer = GATLayer(2, 2, rng=np.random.default_rng(3))
+        out = layer(Tensor(np.random.default_rng(4).normal(size=(4, 2)) * 10), adj)
+        assert (np.abs(out.numpy()) <= 1.0).all()
+
+
+class TestAttention:
+    def test_shapes(self):
+        attn = ScaledDotProductAttention(4, rng=np.random.default_rng(0))
+        out = attn(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 4)
+
+    def test_mask_blocks_positions(self):
+        attn = ScaledDotProductAttention(3, rng=np.random.default_rng(1))
+        x1 = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        x2 = np.array([[1.0, 0.0, 0.0], [5.0, 5.0, 5.0]])
+        mask = np.array([[True, False], [False, True]])  # each attends to itself
+        out1 = attn(Tensor(x1), mask).numpy()
+        out2 = attn(Tensor(x2), mask).numpy()
+        np.testing.assert_allclose(out1[0], out2[0], atol=1e-9)
+
+    def test_self_attention_block_residual(self):
+        block = SelfAttentionBlock(4, rng=np.random.default_rng(2))
+        x = np.random.default_rng(3).normal(size=(3, 4))
+        out = block(Tensor(x))
+        assert out.shape == (3, 4)
+        assert (out.numpy() >= 0).all()  # final relu
+
+    def test_gradients_flow_through_block(self):
+        block = SelfAttentionBlock(4, rng=np.random.default_rng(4))
+        t = Tensor(np.random.default_rng(5).normal(size=(3, 4)), requires_grad=True)
+        block(t).sum().backward()
+        assert t.grad is not None
+
+
+class TestMultiHeadAttention:
+    def test_dim_divisibility_enforced(self):
+        from repro.nn import MultiHeadAttention
+
+        with pytest.raises(ValueError):
+            MultiHeadAttention(6, heads=4)
+
+    def test_shapes(self):
+        from repro.nn import MultiHeadAttention
+
+        attn = MultiHeadAttention(8, heads=2, rng=np.random.default_rng(0))
+        out = attn(Tensor(np.random.default_rng(1).normal(size=(5, 8))))
+        assert out.shape == (5, 8)
+
+    def test_mask_blocks_information_flow(self):
+        from repro.nn import MultiHeadAttention
+
+        attn = MultiHeadAttention(4, heads=2, rng=np.random.default_rng(0))
+        mask = np.eye(2, dtype=bool)  # each row attends only to itself
+        x1 = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])
+        x2 = np.array([[1.0, 0.0, 0.0, 0.0], [9.0, 9.0, 9.0, 9.0]])
+        out1 = attn(Tensor(x1), mask).numpy()
+        out2 = attn(Tensor(x2), mask).numpy()
+        np.testing.assert_allclose(out1[0], out2[0], atol=1e-9)
+
+    def test_gradients_reach_all_heads(self):
+        from repro.nn import MultiHeadAttention
+
+        attn = MultiHeadAttention(8, heads=4, rng=np.random.default_rng(0))
+        t = Tensor(np.random.default_rng(1).normal(size=(3, 8)), requires_grad=True)
+        attn(t).sum().backward()
+        for p in attn.parameters():
+            assert p.grad is not None
+        assert t.grad is not None
+
+    def test_differs_from_single_head(self):
+        from repro.nn import MultiHeadAttention
+
+        rng = np.random.default_rng(0)
+        multi = MultiHeadAttention(8, heads=4, rng=np.random.default_rng(1))
+        single = MultiHeadAttention(8, heads=1, rng=np.random.default_rng(1))
+        x = Tensor(rng.normal(size=(4, 8)))
+        assert not np.allclose(multi(x).numpy(), single(x).numpy())

@@ -1,0 +1,181 @@
+"""Tests for Module discovery, layers and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Conv2d,
+    Flatten,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(2, 3)
+        self.blocks = [Linear(3, 3), Linear(3, 1)]
+        self.scale = Parameter(np.array([1.0]))
+
+    def forward(self, x):
+        x = self.linear(x)
+        for block in self.blocks:
+            x = block(x)
+        return x * self.scale
+
+
+class TestModule:
+    def test_named_parameters_discovers_nested_and_lists(self):
+        names = {name for name, _ in Nested().named_parameters()}
+        assert "linear.weight" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        m = Linear(4, 3)
+        assert m.num_parameters() == 4 * 3 + 3
+
+    def test_state_dict_round_trip(self):
+        a, b = Nested(), Nested()
+        for p in a.parameters():
+            p.data = p.data + 1.0
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        m = Nested()
+        state = m.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        m = Linear(2, 3)
+        state = m.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        m = Nested()
+        m.eval()
+        assert all(not mod.training for mod in m.modules())
+        m.train()
+        assert all(mod.training for mod in m.modules())
+
+    def test_zero_grad_clears_all(self):
+        m = Linear(2, 2)
+        out = m(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+
+class TestLinear:
+    def test_affine_math(self):
+        m = Linear(3, 2)
+        m.weight.data = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        m.bias.data = np.array([10.0, 20.0])
+        out = m(Tensor(np.array([[1.0, 2.0, 3.0]])))
+        np.testing.assert_allclose(out.numpy(), [[14.0, 25.0]])
+
+    def test_no_bias(self):
+        m = Linear(3, 2, bias=False)
+        assert m.bias is None
+        assert m.num_parameters() == 6
+
+    def test_deterministic_given_rng(self):
+        a = Linear(4, 4, rng=np.random.default_rng(3))
+        b = Linear(4, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivationsAndContainers:
+    def test_activation_modules(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        np.testing.assert_allclose(ReLU()(x).numpy(), [0.0, 2.0])
+        np.testing.assert_allclose(Tanh()(x).numpy(), np.tanh([-1.0, 2.0]))
+        np.testing.assert_allclose(Sigmoid()(x).numpy(), 1 / (1 + np.exp([1.0, -2.0])))
+        np.testing.assert_allclose(LeakyReLU(0.1)(x).numpy(), [-0.1, 2.0])
+
+    def test_sequential_order_and_access(self):
+        seq = Sequential(Linear(2, 4), ReLU(), Linear(4, 1))
+        assert isinstance(seq[1], ReLU)
+        assert len(list(iter(seq))) == 3
+        out = seq(Tensor(np.ones((5, 2))))
+        assert out.shape == (5, 1)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_conv_maxpool_modules(self):
+        conv = Conv2d(1, 2, 3, padding=1)
+        pool = MaxPool2d(2)
+        out = pool(conv(Tensor(np.zeros((1, 1, 4, 4)))))
+        assert out.shape == (1, 2, 2, 2)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(8)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(4, 8))
+        out = ln(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_affine_params_apply(self):
+        ln = LayerNorm(2)
+        ln.weight.data = np.array([2.0, 2.0])
+        ln.bias.data = np.array([1.0, 1.0])
+        out = ln(Tensor(np.array([[0.0, 2.0]]))).numpy()
+        np.testing.assert_allclose(out, [[-1.0, 3.0]], atol=1e-4)
+
+
+class TestMLP:
+    def test_rejects_too_few_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_layer_structure(self):
+        mlp = MLP([3, 8, 8, 2])
+        linears = [l for l in mlp.net if isinstance(l, Linear)]
+        assert [(l.in_features, l.out_features) for l in linears] == [(3, 8), (8, 8), (8, 2)]
+
+    def test_output_activation(self):
+        mlp = MLP([2, 4, 1], output_activation=Sigmoid)
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(10, 2)))).numpy()
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_trains_on_regression(self):
+        from repro.nn import Adam
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(2)
+        mlp = MLP([1, 16, 1], rng=rng, final_gain=1.0)
+        opt = Adam(mlp.parameters(), lr=1e-2)
+        x = rng.normal(size=(64, 1))
+        y = np.sin(x)
+        first = None
+        for _ in range(200):
+            opt.zero_grad()
+            loss = F.mse_loss(mlp(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.2

@@ -1,0 +1,152 @@
+"""Tests for optimisers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, RMSProp, Tensor, clip_grad_norm
+from repro.nn import functional as F
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def step_quadratic(param, opt, steps):
+    """Minimise f(x) = x^2 and return the trajectory."""
+    values = []
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = (Tensor(param.data * 0) + param) ** 2  # keep graph rooted at param
+        loss.sum().backward()
+        opt.step()
+        values.append(float(param.data[0]))
+    return values
+
+
+class TestSGD:
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_plain_step_math(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.8])
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1 -> p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.5 -> p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param(3.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [3.0])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        values = step_quadratic(p, SGD([p], lr=0.1), 100)
+        assert abs(values[-1]) < 1e-3
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # Adam's bias correction makes the very first step ~lr * sign(grad).
+        p = quadratic_param(0.0)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_matches_reference_two_steps(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1, betas=(0.9, 0.999), eps=1e-8)
+        # Reference computed by the standard Adam recurrence.
+        m = v = 0.0
+        x = 1.0
+        for t in (1, 2):
+            g = 2 * x
+            p.grad = np.array([g])
+            opt.step()
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            x = x - 0.1 * (m / (1 - 0.9**t)) / (np.sqrt(v / (1 - 0.999**t)) + 1e-8)
+            np.testing.assert_allclose(p.data, [x], rtol=1e-10)
+
+    def test_weight_decay_pulls_toward_zero(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert float(p.data[0]) < 10.0
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        values = step_quadratic(p, Adam([p], lr=0.2), 200)
+        assert abs(values[-1]) < 1e-2
+
+
+class TestRMSProp:
+    def test_step_direction(self):
+        p = quadratic_param(1.0)
+        opt = RMSProp([p], lr=0.01)
+        p.grad = np.array([4.0])
+        opt.step()
+        assert float(p.data[0]) < 1.0
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(3.0)
+        values = step_quadratic(p, RMSProp([p], lr=0.05), 300)
+        assert abs(values[-1]) < 0.05
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_clips_to_max_norm(self):
+        a = Parameter(np.zeros(2))
+        b = Parameter(np.zeros(2))
+        a.grad = np.array([3.0, 0.0])
+        b.grad = np.array([0.0, 4.0])
+        norm = clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt((a.grad**2).sum() + (b.grad**2).sum())
+        assert total == pytest.approx(1.0)
+
+    def test_ignores_none_grads(self):
+        a = Parameter(np.zeros(2))
+        b = Parameter(np.zeros(2))
+        a.grad = np.array([1.0, 0.0])
+        assert clip_grad_norm([a, b], 10.0) == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    def test_adam_beats_sgd_on_ill_conditioned_problem(self):
+        rng = np.random.default_rng(0)
+        scales = np.array([100.0, 1.0])
+
+        def loss_of(p):
+            return ((Tensor(scales) * p) ** 2).sum()
+
+        results = {}
+        for name, factory in (("sgd", lambda p: SGD([p], lr=1e-5)),
+                              ("adam", lambda p: Adam([p], lr=0.05))):
+            p = Parameter(np.array([1.0, 1.0]))
+            opt = factory(p)
+            for _ in range(100):
+                opt.zero_grad()
+                loss_of(p).backward()
+                opt.step()
+            results[name] = float(loss_of(p).item())
+        assert results["adam"] < results["sgd"]

@@ -1,0 +1,86 @@
+"""Tests for LSTM / GRU cells."""
+
+import numpy as np
+
+from repro.nn import GRUCell, LSTMCell, Tensor
+
+
+class TestLSTMCell:
+    def test_shapes(self):
+        cell = LSTMCell(4, 8, rng=np.random.default_rng(0))
+        h, (h2, c2) = cell(Tensor(np.zeros((3, 4))), cell.init_state(3))
+        assert h.shape == (3, 8)
+        assert h2.shape == (3, 8) and c2.shape == (3, 8)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(2, 3)
+        np.testing.assert_array_equal(cell.b_f.data, np.ones(3))
+
+    def test_state_evolves_with_input(self):
+        rng = np.random.default_rng(1)
+        cell = LSTMCell(2, 4, rng=rng)
+        state = cell.init_state(1)
+        x1 = Tensor(rng.normal(size=(1, 2)))
+        x2 = Tensor(rng.normal(size=(1, 2)))
+        h1, state = cell(x1, state)
+        h2, state = cell(x2, state)
+        assert not np.allclose(h1.numpy(), h2.numpy())
+
+    def test_zero_input_zero_state_bounded(self):
+        cell = LSTMCell(3, 5, rng=np.random.default_rng(2))
+        h, _ = cell(Tensor(np.zeros((2, 3))), cell.init_state(2))
+        assert (np.abs(h.numpy()) < 1.0).all()
+
+    def test_gradients_flow_through_time(self):
+        rng = np.random.default_rng(3)
+        cell = LSTMCell(2, 3, rng=rng)
+        state = cell.init_state(1)
+        x = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        h, state = cell(x, state)
+        for _ in range(3):
+            h, state = cell(Tensor(np.zeros((1, 2))), state)
+        h.sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+        assert cell.w_i.grad is not None
+
+    def test_deterministic_given_seed(self):
+        a = LSTMCell(2, 3, rng=np.random.default_rng(7))
+        b = LSTMCell(2, 3, rng=np.random.default_rng(7))
+        x = np.random.default_rng(0).normal(size=(1, 2))
+        ha, _ = a(Tensor(x), a.init_state(1))
+        hb, _ = b(Tensor(x), b.init_state(1))
+        np.testing.assert_array_equal(ha.numpy(), hb.numpy())
+
+
+class TestGRUCell:
+    def test_shapes(self):
+        cell = GRUCell(4, 6, rng=np.random.default_rng(0))
+        h = cell(Tensor(np.zeros((5, 4))), cell.init_state(5))
+        assert h.shape == (5, 6)
+
+    def test_interpolation_property(self):
+        # With update gate ~0 the state barely changes; the GRU output is a
+        # convex combination of old state and candidate, so it stays in
+        # the hull of [-1, 1].
+        cell = GRUCell(2, 3, rng=np.random.default_rng(1))
+        h = cell(Tensor(np.ones((1, 2))), Tensor(np.zeros((1, 3))))
+        assert (np.abs(h.numpy()) <= 1.0).all()
+
+    def test_gradients_reach_parameters(self):
+        rng = np.random.default_rng(2)
+        cell = GRUCell(3, 4, rng=rng)
+        h = cell(Tensor(rng.normal(size=(2, 3))), cell.init_state(2))
+        h.sum().backward()
+        for p in cell.parameters():
+            assert p.grad is not None
+
+    def test_state_carries_information(self):
+        rng = np.random.default_rng(3)
+        cell = GRUCell(2, 4, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2)))
+        h0a = cell.init_state(1)
+        h0b = Tensor(np.ones((1, 4)))
+        ha = cell(x, h0a)
+        hb = cell(x, h0b)
+        assert not np.allclose(ha.numpy(), hb.numpy())

@@ -1,0 +1,43 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Tensor, load_checkpoint, save_checkpoint
+
+
+def test_round_trip_preserves_parameters(tmp_path):
+    a = MLP([3, 8, 2], rng=np.random.default_rng(0))
+    b = MLP([3, 8, 2], rng=np.random.default_rng(99))
+    path = save_checkpoint(a, tmp_path / "model.npz")
+    load_checkpoint(b, path)
+    x = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+    np.testing.assert_array_equal(a(x).numpy(), b(x).numpy())
+
+
+def test_metadata_round_trip(tmp_path):
+    model = MLP([2, 2], rng=np.random.default_rng(0))
+    meta = {"iteration": 7, "campus": "kaist"}
+    save_checkpoint(model, tmp_path / "m.npz", metadata=meta)
+    loaded = load_checkpoint(model, tmp_path / "m.npz")
+    assert loaded == meta
+
+
+def test_missing_metadata_defaults_to_empty(tmp_path):
+    model = MLP([2, 2], rng=np.random.default_rng(0))
+    save_checkpoint(model, tmp_path / "m.npz")
+    assert load_checkpoint(model, tmp_path / "m.npz") == {}
+
+
+def test_creates_parent_directories(tmp_path):
+    model = MLP([2, 2], rng=np.random.default_rng(0))
+    path = save_checkpoint(model, tmp_path / "deep" / "nested" / "m.npz")
+    assert path.exists()
+
+
+def test_load_into_wrong_architecture_raises(tmp_path):
+    a = MLP([3, 8, 2], rng=np.random.default_rng(0))
+    wrong = MLP([3, 4, 2], rng=np.random.default_rng(0))
+    path = save_checkpoint(a, tmp_path / "m.npz")
+    with pytest.raises(ValueError):
+        load_checkpoint(wrong, path)

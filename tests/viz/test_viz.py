@@ -1,0 +1,140 @@
+"""Tests for the SVG / ASCII rendering subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.viz import SVGCanvas, ascii_heatmap, render_campus, render_trajectories
+
+
+class TestSVGCanvas:
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            SVGCanvas(0.0, 100.0)
+
+    def test_render_is_valid_svg_skeleton(self):
+        canvas = SVGCanvas(100, 100, pixels=200)
+        svg = canvas.render()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_y_axis_flipped(self):
+        canvas = SVGCanvas(100, 100, pixels=120, margin=10)
+        # World origin (0, 0) must land at the bottom of the image.
+        assert canvas._y(0.0) > canvas._y(100.0)
+
+    def test_elements_appear_in_output(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.line((0, 0), (10, 10))
+        canvas.circle((5, 5), 3.0, fill="#ff0000")
+        canvas.polygon([(0, 0), (1, 0), (1, 1)], fill="#00ff00")
+        canvas.polyline([(0, 0), (5, 5), (10, 0)])
+        canvas.text((1, 1), "hello")
+        svg = canvas.render()
+        for tag in ("<line", "<circle", "<polygon", "<polyline", "<text"):
+            assert tag in svg
+
+    def test_text_escaped(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.text((0, 0), "a<b & c>d")
+        svg = canvas.render()
+        assert "a&lt;b &amp; c&gt;d" in svg
+
+    def test_short_polyline_skipped(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.polyline([(0, 0)])
+        assert "<polyline" not in canvas.render()
+
+    def test_save_creates_file(self, tmp_path):
+        canvas = SVGCanvas(10, 10)
+        path = canvas.save(tmp_path / "nested" / "img.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestRenderCampus:
+    def test_contains_all_features(self, toy_campus, toy_stops):
+        svg = render_campus(toy_campus, stops=toy_stops).render()
+        # 2 buildings -> 2 polygons; 4 sensors + stops -> circles.
+        assert svg.count("<polygon") == toy_campus.num_buildings
+        assert svg.count("<circle") == toy_campus.num_sensors + toy_stops.num_stops
+        assert svg.count("<line") == toy_campus.roads.number_of_edges()
+
+    def test_title_present(self, toy_campus):
+        assert "toy" in render_campus(toy_campus).render()
+
+
+class TestRenderTrajectories:
+    def test_trace_drawn(self, toy_env):
+        from repro.baselines import RandomAgent
+
+        agent = RandomAgent(toy_env, seed=0)
+        trace = agent.rollout_trace(seed=0)
+        svg = render_trajectories(toy_env, trace, title="random walk").render()
+        assert "<polyline" in svg
+        assert "random walk" in svg
+
+    def test_empty_trace_ok(self, toy_env):
+        svg = render_trajectories(toy_env, []).render()
+        assert svg.startswith("<svg")
+
+
+class TestAsciiHeatmap:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+
+    def test_zero_grid_renders_blank(self):
+        art = ascii_heatmap(np.zeros((4, 8)))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_peak_uses_densest_char(self):
+        grid = np.zeros((4, 8))
+        grid[2, 3] = 5.0
+        art = ascii_heatmap(grid, width=8)
+        assert "@" in art
+
+    def test_width_respected(self):
+        art = ascii_heatmap(np.random.default_rng(0).random((10, 100)), width=40)
+        assert all(len(line) == 40 for line in art.splitlines())
+
+
+class TestLineChart:
+    def _series(self):
+        return {"GARL": [(2, 0.4), (4, 0.8), (6, 0.6)],
+                "Random": [(2, 0.1), (4, 0.15), (6, 0.12)]}
+
+    def test_empty_rejected(self):
+        from repro.viz import line_chart
+
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_renders_all_series(self):
+        from repro.viz import line_chart
+
+        svg = line_chart(self._series(), title="Fig 3", x_label="U",
+                         y_label="efficiency").render()
+        assert svg.count("<polyline") == 2
+        assert "GARL" in svg and "Random" in svg
+        assert "Fig 3" in svg
+
+    def test_markers_match_points(self):
+        from repro.viz import line_chart
+
+        svg = line_chart(self._series()).render()
+        assert svg.count("<circle") == 6
+
+    def test_degenerate_single_point(self):
+        from repro.viz import line_chart
+
+        svg = line_chart({"only": [(4, 0.5)]}).render()
+        assert "<circle" in svg
+
+    def test_save(self, tmp_path):
+        from repro.viz import line_chart
+
+        path = line_chart(self._series()).save(tmp_path / "chart.svg")
+        assert path.exists()
