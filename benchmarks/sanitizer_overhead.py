@@ -1,0 +1,123 @@
+"""Measure the runtime-sanitizer overhead on a real GARL training loop.
+
+Runs 50 UGV optimizer steps (minibatch loss -> zero_grad -> backward ->
+clip -> step, exactly the body of ``IPPOTrainer.update_ugv``) three ways:
+
+* ``baseline``       — sanitizer off (the default production path);
+* ``sanitizer_off``  — a second off run, to show run-to-run noise;
+* ``sanitizer_on``   — ``detect_anomaly()`` active, full provenance +
+                       fingerprint + finiteness checks.
+
+Also times one ``repro lint src`` pass.  Results land in
+``BENCH_lint.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/sanitizer_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.garl import GARLAgent
+from repro.experiments import get_preset
+from repro.experiments.runner import build_env
+from repro.nn import clip_grad_norm, detect_anomaly
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+STEPS = 50
+
+
+def build_trainer():
+    preset = get_preset("smoke")
+    env = build_env("kaist", preset, num_ugvs=4, num_uavs_per_ugv=2, seed=0)
+    agent = GARLAgent(env, preset.garl_config())
+    trainer = agent.trainer
+    ugv_samples, _, _, _, _ = trainer.collect(episodes=1)
+    return trainer, ugv_samples
+
+
+def run_steps(trainer, samples, steps: int, sanitize: bool) -> dict:
+    ppo = trainer.ppo
+    advantages = np.array([s.advantage for s in samples])
+    norm_adv = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+    order = np.arange(len(samples))
+    rng = np.random.default_rng(0)
+
+    per_step = []
+    with detect_anomaly(sanitize):
+        for step in range(steps):
+            if step * ppo.minibatch_size % max(len(order), 1) == 0:
+                rng.shuffle(order)
+            start = (step * ppo.minibatch_size) % max(len(order), 1)
+            batch_idx = order[start:start + ppo.minibatch_size]
+            if batch_idx.size == 0:
+                batch_idx = order
+            t0 = time.perf_counter()
+            loss, _, _ = trainer._ugv_minibatch_loss(samples, batch_idx, norm_adv)
+            trainer.ugv_optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(trainer.ugv_optimizer.params, ppo.max_grad_norm)
+            trainer.ugv_optimizer.step()
+            per_step.append(time.perf_counter() - t0)
+    arr = np.asarray(per_step)
+    return {
+        "steps": steps,
+        "total_seconds": round(float(arr.sum()), 4),
+        "mean_ms": round(float(arr.mean() * 1e3), 3),
+        "median_ms": round(float(np.median(arr) * 1e3), 3),
+        "p90_ms": round(float(np.percentile(arr, 90) * 1e3), 3),
+    }
+
+
+def time_lint() -> dict:
+    from repro.analysis.lint import lint_paths
+
+    t0 = time.perf_counter()
+    diagnostics = lint_paths([str(REPO_ROOT / "src")])
+    seconds = time.perf_counter() - t0
+    n_files = sum(1 for _ in (REPO_ROOT / "src").rglob("*.py"))
+    return {
+        "seconds": round(seconds, 4),
+        "files": n_files,
+        "findings": len(diagnostics),
+    }
+
+
+def main() -> None:
+    trainer, samples = build_trainer()
+    run_steps(trainer, samples, 5, sanitize=False)  # warm up caches/JIT-free path
+
+    baseline = run_steps(trainer, samples, STEPS, sanitize=False)
+    off_again = run_steps(trainer, samples, STEPS, sanitize=False)
+    on = run_steps(trainer, samples, STEPS, sanitize=True)
+
+    noise = abs(off_again["mean_ms"] - baseline["mean_ms"])
+    overhead_off = off_again["mean_ms"] / baseline["mean_ms"]
+    overhead_on = on["mean_ms"] / baseline["mean_ms"]
+
+    report = {
+        "bench": "sanitizer_overhead",
+        "workload": f"{STEPS} UGV PPO minibatch steps, GARL smoke preset, "
+                    f"kaist, 4 UGVs x 2 UAVs, {len(samples)} samples",
+        "baseline": baseline,
+        "sanitizer_off": off_again,
+        "sanitizer_on": on,
+        "overhead": {
+            "off_vs_baseline_x": round(overhead_off, 3),
+            "on_vs_baseline_x": round(overhead_on, 3),
+            "run_to_run_noise_ms": round(noise, 3),
+        },
+        "lint_src": time_lint(),
+    }
+    out = REPO_ROOT / "BENCH_lint.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}")
+
+
+if __name__ == "__main__":
+    main()

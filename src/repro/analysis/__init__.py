@@ -1,0 +1,22 @@
+"""``repro.analysis`` — correctness tooling for the hand-written autodiff stack.
+
+Two halves:
+
+* **reprolint** (:mod:`repro.analysis.lint`, :mod:`repro.analysis.rules`) —
+  a stdlib-``ast`` static-analysis pass with rules tuned to the classic
+  failure modes of this codebase: silent ``Tensor.data`` mutation, raw
+  ``np.*`` calls that escape the autograd graph, rollouts missing
+  ``no_grad()``, float32 drift into the float64 engine, backward closures
+  capturing loop variables, bare asserts in hot paths, optimizer steps
+  without ``zero_grad()``, and unguarded reciprocals.  Run it with
+  ``repro lint [paths]`` or the ``reprolint`` console script.
+
+* the **runtime numerics sanitizer** lives next to the engine in
+  :mod:`repro.nn.anomaly` (``repro.nn.detect_anomaly()``); see
+  ``docs/static_analysis.md`` for the full story.
+"""
+
+from .lint import Diagnostic, lint_paths, lint_source, main
+from .rules import RULES, Rule
+
+__all__ = ["Diagnostic", "Rule", "RULES", "lint_source", "lint_paths", "main"]

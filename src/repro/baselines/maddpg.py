@@ -49,7 +49,7 @@ class _UGVActor(Module):
         from ..nn import Linear
 
         last = [m for m in self.net.modules() if isinstance(m, Linear)][-1]
-        last.bias.data[-1] = RELEASE_BIAS
+        last.bias.data[-1] = RELEASE_BIAS  # reprolint: disable=RL001
 
     def forward(self, obs: Tensor) -> Tensor:
         return self.net(obs)
@@ -95,7 +95,7 @@ class _Critic(Module):
 def _soft_update(target: Module, source: Module, tau: float) -> None:
     src = dict(source.named_parameters())
     for name, param in target.named_parameters():
-        param.data = (1.0 - tau) * param.data + tau * src[name].data
+        param.data = (1.0 - tau) * param.data + tau * src[name].data  # reprolint: disable=RL001
 
 
 class MADDPGAgent:

@@ -10,6 +10,8 @@ Commands mirror the paper's experiments:
 * ``sweep``        — Fig. 3-6 coalition sweep (writes JSON records).
 * ``complexity``   — Table IV inference-cost rows.
 * ``trajectories`` — Fig. 7 trajectory statistics.
+* ``lint``         — reprolint static analysis over the codebase
+                     (autodiff-misuse rules; see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -103,11 +105,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("--method", default=None, choices=sorted(AGENT_NAMES),
                           help="also train this method and overlay its trace")
     p_render.add_argument("--out", default="campus.svg")
+
+    p_lint = sub.add_parser("lint", help="run the reprolint static-analysis "
+                                         "rules (exit 1 on findings)")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        from .analysis.lint import main as lint_main
+
+        lint_args = list(args.paths)
+        if args.list_rules:
+            lint_args.append("--list-rules")
+        return lint_main(lint_args)
+
     preset = get_preset(args.preset)
 
     if args.command == "train":

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Linear, Module, Tensor
+from ..nn import Linear, Module, Tensor, annotate
 from .config import GARLConfig
 
 __all__ = ["EComm"]
@@ -64,7 +64,7 @@ class ECommLayer(Module):
         else:
             inv = 1.0 / (norms + 1e-6)
             logits = inv + Tensor(np.where(eye, -1e9, 0.0))
-            alpha = logits.softmax(axis=-1)  # (U, U)
+            alpha = annotate(logits.softmax(axis=-1), "EComm.alpha")  # (U, U)
 
         # Eqn. (27): invariant message aggregation.
         messages = self.phi_m(h)  # (U, D); m^{uu'} depends only on u'

@@ -39,14 +39,16 @@ class GARLAgent:
 
     name = "GARL"
 
-    def __init__(self, env: AirGroundEnv, config: GARLConfig | None = None):
+    def __init__(self, env: AirGroundEnv, config: GARLConfig | None = None,
+                 detect_anomaly: bool = False):
         self.env = env
         self.config = config or GARLConfig()
         rng = np.random.default_rng(self.config.seed)
         self.ugv_policy = UGVPolicy(env.stops, self.config, rng=rng)
         self.uav_policy = UAVPolicy(env.config.uav_obs_size, self.config, rng=rng)
         self.trainer = IPPOTrainer(env, self.ugv_policy, self.uav_policy,
-                                   self.config.ppo, seed=self.config.seed)
+                                   self.config.ppo, seed=self.config.seed,
+                                   detect_anomaly=detect_anomaly)
 
     # ------------------------------------------------------------------
     def train(self, iterations: int, episodes_per_iteration: int = 1,

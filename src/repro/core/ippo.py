@@ -10,13 +10,14 @@ isolate the architectural differences the paper studies.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..env.airground import AirGroundEnv
 from ..env.metrics import MetricSnapshot
-from ..nn import Adam, Categorical, Tensor, clip_grad_norm, no_grad
+from ..nn import Adam, Categorical, Tensor, annotate, clip_grad_norm, detect_anomaly, no_grad
 from .buffer import UAVRollout, UAVSample, UGVRollout, UGVSample
 from .config import PPOConfig
 
@@ -109,8 +110,12 @@ class IPPOTrainer:
 
     def __init__(self, env: AirGroundEnv, ugv_policy, uav_policy,
                  ppo: PPOConfig | None = None, seed: int = 0,
-                 lr_schedule=None, entropy_schedule=None):
+                 lr_schedule=None, entropy_schedule=None,
+                 detect_anomaly: bool = False):
         self.env = env
+        # Opt-in numerics sanitizer: updates run under repro.nn.detect_anomaly
+        # so a NaN/Inf loss or gradient raises, naming the originating op.
+        self.detect_anomaly = bool(detect_anomaly)
         self.ugv_policy = ugv_policy
         self.uav_policy = uav_policy
         self.ppo = ppo or PPOConfig()
@@ -144,10 +149,15 @@ class IPPOTrainer:
             total_uav_reward += float(sum(s.ret for s in uav_samples_ep if s.ret))
             ugv_samples.extend(ugv_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda))
             uav_samples.extend(uav_samples_ep)
-        assert last_metrics is not None
+        if last_metrics is None:
+            raise RuntimeError("collect() requires at least one episode")
         return ugv_samples, uav_samples, last_metrics, total_ugv_reward, total_uav_reward
 
     # ------------------------------------------------------------------
+    def _sanitize(self):
+        """Context wrapping gradient updates in anomaly detection if enabled."""
+        return detect_anomaly() if self.detect_anomaly else nullcontext()
+
     def update_ugv(self, samples: list[UGVSample]) -> dict[str, float]:
         """Clipped PPO update for the (shared) UGV policy."""
         if not samples:
@@ -164,11 +174,12 @@ class IPPOTrainer:
             self.rng.shuffle(order)
             for start in range(0, len(order), ppo.minibatch_size):
                 batch_idx = order[start:start + ppo.minibatch_size]
-                loss, pl, vl = self._ugv_minibatch_loss(samples, batch_idx, norm_adv)
-                self.ugv_optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.ugv_optimizer.params, ppo.max_grad_norm)
-                self.ugv_optimizer.step()
+                with self._sanitize():
+                    loss, pl, vl = self._ugv_minibatch_loss(samples, batch_idx, norm_adv)
+                    self.ugv_optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self.ugv_optimizer.params, ppo.max_grad_norm)
+                    self.ugv_optimizer.step()
                 policy_losses.append(pl)
                 value_losses.append(vl)
         return {"ugv_policy_loss": float(np.mean(policy_losses)),
@@ -232,6 +243,7 @@ class IPPOTrainer:
         if aux_losses:
             # Auxiliary objectives (e.g. AE-Comm's reconstruction loss).
             total = total + Tensor.stack(aux_losses, axis=0).mean()
+        annotate(total, "ippo.ugv_loss")
         return total, float(policy_loss.item()), float(value_loss.item())
 
     # ------------------------------------------------------------------
@@ -250,29 +262,31 @@ class IPPOTrainer:
             for start in range(0, len(order), ppo.minibatch_size):
                 idxs = order[start:start + ppo.minibatch_size]
                 batch = [samples[i] for i in idxs]
-                dist, value = self.uav_policy([s.observation for s in batch])
-                actions = np.stack([s.action for s in batch])
-                logp = dist.log_prob(actions)
-                ratio = (logp - Tensor(np.array([s.log_prob for s in batch]))).exp()
-                adv = Tensor(norm_adv[idxs])
-                surr1 = ratio * adv
-                surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv
-                policy_loss = -Tensor.minimum(surr1, surr2).mean()
+                with self._sanitize():
+                    dist, value = self.uav_policy([s.observation for s in batch])
+                    actions = np.stack([s.action for s in batch])
+                    logp = dist.log_prob(actions)
+                    ratio = (logp - Tensor(np.array([s.log_prob for s in batch]))).exp()
+                    adv = Tensor(norm_adv[idxs])
+                    surr1 = ratio * adv
+                    surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv
+                    policy_loss = -Tensor.minimum(surr1, surr2).mean()
 
-                ret = np.array([s.ret for s in batch])
-                old_value = np.array([s.value for s in batch])
-                v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
-                    -ppo.value_clip, ppo.value_clip)
-                value_loss = Tensor.maximum((value - Tensor(ret)) ** 2,
-                                            (v_clipped - Tensor(ret)) ** 2).mean()
-                entropy = dist.entropy().mean()
+                    ret = np.array([s.ret for s in batch])
+                    old_value = np.array([s.value for s in batch])
+                    v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
+                        -ppo.value_clip, ppo.value_clip)
+                    value_loss = Tensor.maximum((value - Tensor(ret)) ** 2,
+                                                (v_clipped - Tensor(ret)) ** 2).mean()
+                    entropy = dist.entropy().mean()
 
-                total = (policy_loss + ppo.value_coef * value_loss
-                         - self._entropy_coef * entropy)
-                self.uav_optimizer.zero_grad()
-                total.backward()
-                clip_grad_norm(self.uav_optimizer.params, ppo.max_grad_norm)
-                self.uav_optimizer.step()
+                    total = (policy_loss + ppo.value_coef * value_loss
+                             - self._entropy_coef * entropy)
+                    annotate(total, "ippo.uav_loss")
+                    self.uav_optimizer.zero_grad()
+                    total.backward()
+                    clip_grad_norm(self.uav_optimizer.params, ppo.max_grad_norm)
+                    self.uav_optimizer.step()
                 policy_losses.append(float(policy_loss.item()))
                 value_losses.append(float(value_loss.item()))
         return {"uav_policy_loss": float(np.mean(policy_losses)),

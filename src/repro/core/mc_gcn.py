@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..maps.stop_graph import StopGraph
-from ..nn import GCNLayer, Linear, Module, Parameter, Tensor, normalized_laplacian
+from ..nn import GCNLayer, Linear, Module, Parameter, Tensor, annotate, normalized_laplacian
 from ..nn.init import xavier_uniform
 from .config import GARLConfig
 
@@ -89,7 +89,7 @@ class MCGCN(Module):
         else:
             node_feature = f_own
         combined = Tensor(structural) * node_feature
-        return combined.softmax(axis=-1)
+        return annotate(combined.softmax(axis=-1), "MCGCN.attention")
 
     def forward(self, stop_features: np.ndarray, own_stop: int,
                 other_stops: np.ndarray) -> tuple[Tensor, Tensor]:

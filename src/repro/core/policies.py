@@ -47,7 +47,7 @@ def bias_release_head(head) -> None:
         if isinstance(module, Linear):
             last = module
     if last is not None and last.bias is not None:
-        last.bias.data = np.full_like(last.bias.data, RELEASE_BIAS)
+        last.bias.data = np.full_like(last.bias.data, RELEASE_BIAS)  # reprolint: disable=RL001
 
 
 class UGVPolicyOutput:

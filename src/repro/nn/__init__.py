@@ -6,6 +6,13 @@ Adam, PPO-style distributions) so the whole system runs offline on CPU.
 """
 
 from . import functional
+from .anomaly import (
+    AnomalyError,
+    InplaceMutationError,
+    annotate,
+    detect_anomaly,
+    is_anomaly_enabled,
+)
 from .attention import MultiHeadAttention, ScaledDotProductAttention, SelfAttentionBlock
 from .distributions import Categorical, DiagGaussian
 from .graph import GATLayer, GCNLayer, normalized_laplacian
@@ -27,13 +34,20 @@ from .layers import (
 from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
 from .recurrent import GRUCell, LSTMCell
 from .serialize import load_checkpoint, save_checkpoint
-from .tensor import Tensor, as_tensor, no_grad
+from .tensor import Tensor, as_tensor, enable_grad, is_grad_enabled, no_grad
 
 __all__ = [
     "functional",
     "Tensor",
     "as_tensor",
     "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "detect_anomaly",
+    "is_anomaly_enabled",
+    "annotate",
+    "AnomalyError",
+    "InplaceMutationError",
     "Module",
     "Parameter",
     "Linear",

@@ -1,0 +1,214 @@
+"""Runtime numerics sanitizer with per-op provenance.
+
+This is the dynamic half of the correctness tooling (the static half is
+``repro.analysis``): an opt-in anomaly-detection mode mirroring
+``torch.autograd.set_detect_anomaly``.  While enabled, every operation the
+autograd engine records
+
+* is checked for NaN/Inf in its forward output,
+* remembers *provenance* — the op name and the user-code location that
+  created it, plus the shapes/dtypes of its inputs,
+* fingerprints its inputs so that in-place mutation of ``Tensor.data``
+  between forward and backward raises :class:`InplaceMutationError`
+  instead of silently corrupting gradients,
+* has the gradients it produces during backward checked for NaN/Inf.
+
+All hooks sit behind a single module-level flag, so the engine pays one
+boolean test per op when the mode is disabled and nothing else.
+
+Usage::
+
+    from repro.nn import detect_anomaly
+
+    with detect_anomaly():
+        loss = model(batch)
+        loss.backward()   # raises AnomalyError naming the culprit op
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "AnomalyError",
+    "InplaceMutationError",
+    "detect_anomaly",
+    "is_anomaly_enabled",
+    "annotate",
+]
+
+_ENABLED = False
+
+# Engine-internal files skipped when attributing an op to user code.
+_ENGINE_FILES = ("tensor.py", "functional.py", "anomaly.py")
+
+
+class AnomalyError(RuntimeError):
+    """A NaN/Inf was produced by a recorded autograd operation."""
+
+
+class InplaceMutationError(AnomalyError):
+    """An op input was mutated in place between forward and backward."""
+
+
+class detect_anomaly:
+    """Context manager / decorator toggling the numerics sanitizer.
+
+    ``detect_anomaly(False)`` temporarily disables an enclosing anomaly
+    scope, mirroring the torch API.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = bool(enabled)
+
+    def __enter__(self) -> "detect_anomaly":
+        global _ENABLED
+        self._prev = _ENABLED
+        _ENABLED = self._enabled
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _ENABLED
+        _ENABLED = self._prev
+
+    def __call__(self, fn):
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with detect_anomaly(self._enabled):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def is_anomaly_enabled() -> bool:
+    """Return whether the runtime numerics sanitizer is active."""
+    return _ENABLED
+
+
+# ----------------------------------------------------------------------
+# Provenance records
+# ----------------------------------------------------------------------
+class OpRecord:
+    """Provenance attached to a tensor created while the mode is active."""
+
+    __slots__ = ("op", "site", "label", "parents")
+
+    def __init__(self, op: str, site: str,
+                 parents: list[tuple[object, int, tuple]]):
+        self.op = op
+        self.site = site
+        self.label = ""
+        self.parents = parents  # (tensor, version_at_creation, fingerprint)
+
+    def describe(self) -> str:
+        name = f"'{self.op}'" + (f" [{self.label}]" if self.label else "")
+        ins = ", ".join(
+            f"{tuple(p.data.shape)} {p.data.dtype}"
+            + (f" <- '{p._anomaly.op}'" if getattr(p, "_anomaly", None) is not None else "")
+            for p, _, _ in self.parents
+        )
+        return f"op {name} created at {self.site} with inputs ({ins})"
+
+
+def _fingerprint(arr: np.ndarray) -> tuple:
+    return (arr.shape, zlib.adler32(arr.tobytes()))
+
+
+def _creation_site() -> str:
+    for frame in reversed(traceback.extract_stack()):
+        fname = frame.filename.replace("\\", "/")
+        base = fname.rsplit("/", 1)[-1]
+        if "repro/nn/" in fname and base in _ENGINE_FILES:
+            continue
+        return f"{fname}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+def _nonfinite_counts(arr: np.ndarray) -> tuple[int, int]:
+    nan = int(np.isnan(arr).sum())
+    inf = int(np.isinf(arr).sum())
+    return nan, inf
+
+
+def record_op(child, parents, op: str | None) -> None:
+    """Attach provenance to ``child`` and check its forward output.
+
+    Called by ``Tensor._make_child`` only while the mode is enabled; the
+    op name defaults to the name of the engine method that created the
+    tensor (two frames up: record_op <- _make_child <- the op).
+    """
+    if op is None:
+        op = sys._getframe(2).f_code.co_name.strip("_")
+    rec = OpRecord(op, _creation_site(),
+                   [(p, p._version, _fingerprint(p.data)) for p in parents])
+    child._anomaly = rec
+    data = child.data
+    if not np.isfinite(data).all():
+        nan, inf = _nonfinite_counts(data)
+        raise AnomalyError(
+            f"detect_anomaly: forward of {rec.describe()} produced "
+            f"{nan} NaN / {inf} Inf values (output shape {tuple(data.shape)})"
+        )
+
+
+def check_before_backward(node) -> None:
+    """Verify no op input was mutated since the forward pass recorded it."""
+    rec = getattr(node, "_anomaly", None)
+    if rec is None:
+        return
+    for parent, version, fp in rec.parents:
+        if parent._version != version:
+            how = f"version counter {version} -> {parent._version}"
+        elif _fingerprint(parent.data) != fp:
+            how = "data fingerprint changed with no version bump"
+        else:
+            continue
+        raise InplaceMutationError(
+            f"detect_anomaly: an input of {rec.describe()} was mutated "
+            f"in place between forward and backward ({how}); the "
+            f"computed gradient would be silently wrong"
+        )
+
+
+def check_after_backward(node) -> None:
+    """Check the gradients ``node``'s backward just accumulated."""
+    rec = getattr(node, "_anomaly", None)
+    for parent in node._prev:
+        grad = parent.grad
+        if grad is not None and not np.isfinite(grad).all():
+            nan, inf = _nonfinite_counts(grad)
+            what = rec.describe() if rec is not None else "an unrecorded op"
+            raise AnomalyError(
+                f"detect_anomaly: backward of {what} produced a gradient "
+                f"with {nan} NaN / {inf} Inf values for an input of shape "
+                f"{tuple(parent.data.shape)}"
+            )
+
+
+def annotate(tensor, label: str):
+    """Tag ``tensor``'s provenance with a semantic label (hook point).
+
+    Model code calls this at numerically delicate spots (attention
+    weights, inverse-distance softmaxes, losses) so sanitizer errors name
+    the construct, not just the raw op.  Free when the mode is disabled.
+    """
+    if _ENABLED:
+        rec = getattr(tensor, "_anomaly", None)
+        if rec is not None:
+            rec.label = label
+        tensor.name = label
+        data = tensor.data
+        if not np.isfinite(data).all():
+            nan, inf = _nonfinite_counts(data)
+            where = rec.describe() if rec is not None else f"tensor '{label}'"
+            raise AnomalyError(
+                f"detect_anomaly: '{label}' ({where}) holds {nan} NaN / "
+                f"{inf} Inf values"
+            )
+    return tensor

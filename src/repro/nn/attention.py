@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .anomaly import annotate
 from .init import xavier_uniform
 from .layers import Module, Parameter
 from .tensor import Tensor, as_tensor
@@ -30,7 +31,8 @@ class ScaledDotProductAttention(Module):
         scores = (q @ k.swapaxes(-1, -2)) / np.sqrt(self.dim)
         if mask is not None:
             scores = scores + Tensor(np.where(np.asarray(mask, dtype=bool), 0.0, -1e9))
-        return scores.softmax(axis=-1) @ v
+        weights = annotate(scores.softmax(axis=-1), "ScaledDotProductAttention.weights")
+        return weights @ v
 
 
 class MultiHeadAttention(Module):
@@ -65,7 +67,8 @@ class MultiHeadAttention(Module):
         if mask is not None:
             bias = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
             scores = scores + Tensor(np.broadcast_to(bias, scores.shape).copy())
-        attended = scores.softmax(axis=-1) @ v  # (H, N, head_dim)
+        weights = annotate(scores.softmax(axis=-1), "MultiHeadAttention.weights")
+        attended = weights @ v  # (H, N, head_dim)
         merged = attended.transpose(1, 0, 2).reshape(n, self.dim)
         return merged @ self.w_o
 

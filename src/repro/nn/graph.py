@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .anomaly import annotate
 from .init import xavier_uniform
 from .layers import Module, Parameter
 from .tensor import Tensor, as_tensor
@@ -79,5 +80,5 @@ class GATLayer(Module):
         logits = (src + dst.transpose()).leaky_relu(self.slope)  # (N, N)
         mask = np.asarray(adjacency, dtype=bool) | np.eye(len(adjacency), dtype=bool)
         neg = Tensor(np.where(mask, 0.0, -1e9))
-        alpha = (logits + neg).softmax(axis=-1)
+        alpha = annotate((logits + neg).softmax(axis=-1), "GATLayer.alpha")
         return (alpha @ h).tanh()

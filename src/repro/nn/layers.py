@@ -86,9 +86,9 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
         for p in self.parameters():
-            p.zero_grad()
+            p.zero_grad(set_to_none=set_to_none)
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
@@ -108,6 +108,7 @@ class Module:
             if value.shape != p.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {p.data.shape}")
             p.data = value.astype(p.data.dtype).copy()
+            p.bump_version()
 
     # -- call protocol ----------------------------------------------------
     def forward(self, *args, **kwargs):

@@ -20,9 +20,17 @@ class Optimizer:
             raise ValueError("optimizer received no parameters")
         self.lr = lr
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Reset gradients of all parameters.
+
+        With ``set_to_none=True`` (the default) gradients become ``None``,
+        so a forgotten ``backward()`` or a stale retained graph raises
+        under the anomaly sanitizer instead of silently accumulating;
+        ``set_to_none=False`` keeps zero-filled arrays for code that reads
+        ``p.grad`` unconditionally.
+        """
         for p in self.params:
-            p.zero_grad()
+            p.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         raise NotImplementedError
@@ -46,6 +54,7 @@ class SGD(Optimizer):
                 p.data = p.data - self.lr * v
             else:
                 p.data = p.data - self.lr * p.grad
+            p.bump_version()
 
 
 class Adam(Optimizer):
@@ -79,6 +88,7 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.bump_version()
 
 
 class RMSProp(Optimizer):
@@ -98,6 +108,7 @@ class RMSProp(Optimizer):
             sq *= self.alpha
             sq += (1.0 - self.alpha) * p.grad * p.grad
             p.data = p.data - self.lr * p.grad / (np.sqrt(sq) + self.eps)
+            p.bump_version()
 
 
 def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:

@@ -17,27 +17,63 @@ Design notes
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+from . import anomaly as _anomaly
+
+__all__ = ["Tensor", "no_grad", "enable_grad", "is_grad_enabled", "as_tensor"]
 
 _GRAD_ENABLED = True
 
 
-class no_grad:
-    """Context manager that disables graph recording, like ``torch.no_grad``."""
+class _GradMode:
+    """Shared machinery for :class:`no_grad` / :class:`enable_grad`.
 
-    def __enter__(self) -> "no_grad":
+    Instances work both as context managers::
+
+        with no_grad():
+            values = policy(obs)
+
+    and as decorators (note the parentheses, as with ``torch.no_grad()``)::
+
+        @no_grad()
+        def evaluate(policy, obs): ...
+    """
+
+    _target = True
+
+    def __enter__(self) -> "_GradMode":
         global _GRAD_ENABLED
         self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        _GRAD_ENABLED = self._target
         return self
 
     def __exit__(self, *exc_info) -> None:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._prev
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self.__class__():
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class no_grad(_GradMode):
+    """Disable graph recording, like ``torch.no_grad``."""
+
+    _target = False
+
+
+class enable_grad(_GradMode):
+    """Re-enable graph recording inside a ``no_grad`` scope."""
+
+    _target = True
 
 
 def is_grad_enabled() -> bool:
@@ -80,7 +116,8 @@ class Tensor:
         :meth:`backward` is called on a downstream tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name",
+                 "_version", "_anomaly")
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         arr = np.asarray(data)
@@ -92,6 +129,10 @@ class Tensor:
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = ()
         self.name = name
+        # In-place mutation counter; the anomaly mode compares it (plus a
+        # data fingerprint) between forward and backward.
+        self._version: int = 0
+        self._anomaly = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -138,17 +179,36 @@ class Tensor:
         """Return a graph-detached deep copy."""
         return Tensor(self.data.copy(), requires_grad=False)
 
-    def zero_grad(self) -> None:
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Reset the accumulated gradient.
+
+        ``set_to_none=True`` (the default) drops the gradient entirely, so
+        stale-gradient bugs surface as ``None`` errors instead of silent
+        accumulation; ``set_to_none=False`` keeps a zero array, matching
+        the legacy torch behaviour.
+        """
+        self.grad = None if set_to_none else np.zeros_like(self.data)
+
+    def bump_version(self) -> None:
+        """Declare an intentional in-place mutation of :attr:`data`.
+
+        Engine-owned mutation sites (optimisers, ``load_state_dict``) call
+        this; the anomaly mode uses it to report version drift when a
+        stale graph is backpropagated.
+        """
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Graph plumbing
     # ------------------------------------------------------------------
-    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"]) -> "Tensor":
+    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"],
+                    op: str | None = None) -> "Tensor":
         child = Tensor(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             child.requires_grad = True
             child._prev = tuple(parents)
+        if _anomaly._ENABLED:
+            _anomaly.record_op(child, parents, op)
         return child
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -184,9 +244,14 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        sanitize = _anomaly._ENABLED
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if sanitize:
+                    _anomaly.check_before_backward(node)
                 node._backward()
+                if sanitize:
+                    _anomaly.check_after_backward(node)
 
     # ------------------------------------------------------------------
     # Arithmetic

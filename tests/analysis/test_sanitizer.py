@@ -1,0 +1,194 @@
+"""Runtime numerics sanitizer: provenance, NaN pinpointing, version checks."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    AnomalyError,
+    InplaceMutationError,
+    Linear,
+    Tensor,
+    annotate,
+    detect_anomaly,
+    enable_grad,
+    is_anomaly_enabled,
+    is_grad_enabled,
+    no_grad,
+)
+from repro.nn.layers import Parameter
+
+
+@pytest.fixture(autouse=True)
+def _silence_numpy_warnings():
+    # The tests below deliberately produce inf/nan; numpy's RuntimeWarnings
+    # are the expected companions of the sanitizer's errors.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+# ----------------------------------------------------------------------
+# Forward checks + provenance
+# ----------------------------------------------------------------------
+def test_pinpoints_log_of_zeroed_softmax_row():
+    """The E-Comm failure mode: log of a zeroed softmax row."""
+    weights = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    with detect_anomaly():
+        alpha = weights.softmax(axis=-1)
+        zeroed = alpha * Tensor(np.zeros(3))  # degenerate neighbourhood
+        with pytest.raises(AnomalyError) as excinfo:
+            zeroed.log()
+    message = str(excinfo.value)
+    assert "'log'" in message                      # the culprit op
+    assert "test_sanitizer.py" in message          # creation site
+    assert "'mul'" in message                      # input provenance
+    assert "(3,)" in message and "float64" in message
+
+
+def test_forward_silent_when_disabled():
+    x = Tensor(np.zeros(2), requires_grad=True)
+    out = x.log()  # -inf, but no anomaly mode
+    assert np.isneginf(out.data).all()
+    assert out._anomaly is None  # zero bookkeeping when disabled
+
+
+def test_backward_gradient_nan_is_pinned_to_op():
+    x = Tensor(np.array([0.0]), requires_grad=True)
+    with detect_anomaly():
+        y = x ** 0.5  # d/dx sqrt at 0 -> inf
+        with pytest.raises(AnomalyError) as excinfo:
+            y.backward()
+    assert "backward" in str(excinfo.value)
+    assert "'pow'" in str(excinfo.value)
+
+
+def test_annotate_labels_show_up_in_errors():
+    x = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+    with detect_anomaly():
+        alpha = annotate(x.softmax(-1), "EComm.alpha")
+        bad = alpha - Tensor(np.array([0.5, 0.5]))
+        with pytest.raises(AnomalyError) as excinfo:
+            (bad * 0.0).log().backward(np.ones(2))
+    assert "created at" in str(excinfo.value)
+
+
+def test_annotate_is_identity_when_disabled():
+    x = Tensor(np.full(3, np.nan))
+    assert annotate(x, "whatever") is x  # no check, no raise, no rename
+    assert x.name == ""
+
+
+# ----------------------------------------------------------------------
+# In-place mutation detection / version counter
+# ----------------------------------------------------------------------
+def test_inplace_mutation_between_forward_and_backward_raises():
+    x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    with detect_anomaly():
+        y = (x * x).sum()
+        x.data *= 2.0  # silent corruption without the sanitizer
+        with pytest.raises(InplaceMutationError) as excinfo:
+            y.backward()
+    assert "'mul'" in str(excinfo.value)
+
+
+def test_optimizer_step_on_stale_graph_is_detected():
+    p = Parameter(np.array([1.0, 2.0]))
+    opt = SGD([p], lr=0.1)
+    with detect_anomaly():
+        loss = (p * p).sum()
+        loss.backward()
+        opt.step()  # bumps the version: graph is now stale
+        p.zero_grad()
+        with pytest.raises(InplaceMutationError) as excinfo:
+            loss.backward(np.ones(()))
+    assert "version" in str(excinfo.value)
+
+
+def test_version_counter_bumped_by_optimizers():
+    p = Parameter(np.array([1.0]))
+    before = p._version
+    p.grad = np.array([1.0])
+    Adam([p], lr=0.1).step()
+    assert p._version == before + 1
+
+
+def test_clean_training_step_passes_under_anomaly_mode():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng=rng)
+    opt = Adam(layer.parameters(), lr=1e-3)
+    x = Tensor(rng.normal(size=(5, 4)))
+    with detect_anomaly():
+        for _ in range(3):
+            loss = (layer(x) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    assert all(np.isfinite(p.data).all() for p in layer.parameters())
+
+
+# ----------------------------------------------------------------------
+# Mode plumbing
+# ----------------------------------------------------------------------
+def test_detect_anomaly_nesting_and_disable():
+    assert not is_anomaly_enabled()
+    with detect_anomaly():
+        assert is_anomaly_enabled()
+        with detect_anomaly(False):
+            assert not is_anomaly_enabled()
+        assert is_anomaly_enabled()
+    assert not is_anomaly_enabled()
+
+
+def test_detect_anomaly_as_decorator():
+    @detect_anomaly()
+    def explode():
+        return Tensor(np.zeros(1), requires_grad=True).log()
+
+    with pytest.raises(AnomalyError):
+        explode()
+
+
+# ----------------------------------------------------------------------
+# Grad-mode satellites: enable_grad + decorators + zero_grad(set_to_none)
+# ----------------------------------------------------------------------
+def test_enable_grad_reenables_inside_no_grad():
+    with no_grad():
+        assert not is_grad_enabled()
+        with enable_grad():
+            assert is_grad_enabled()
+            t = Tensor([1.0], requires_grad=True) * 2
+        assert not is_grad_enabled()
+    assert t.requires_grad
+
+
+def test_grad_modes_as_decorators():
+    @no_grad()
+    def frozen():
+        return Tensor([1.0], requires_grad=True) * 2
+
+    @enable_grad()
+    def thawed():
+        return Tensor([1.0], requires_grad=True) * 2
+
+    assert not frozen().requires_grad
+    with no_grad():
+        assert thawed().requires_grad
+    assert frozen.__name__ == "frozen"  # functools.wraps applied
+
+
+def test_zero_grad_set_to_none_semantics():
+    p = Parameter(np.ones(3))
+    p.grad = np.ones(3)
+    opt = SGD([p], lr=0.1)
+    opt.zero_grad()  # default: set_to_none=True
+    assert p.grad is None
+    p.grad = np.ones(3)
+    opt.zero_grad(set_to_none=False)
+    assert isinstance(p.grad, np.ndarray)
+    assert (p.grad == 0).all()
