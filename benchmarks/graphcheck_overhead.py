@@ -1,0 +1,139 @@
+"""Measure the tape-tracer overhead on a real GARL training loop.
+
+The tracer hook in ``Tensor._make_child`` is a single module-global
+check when no ``trace()`` context is active, so the disabled path must
+be free.  Runs 50 UGV optimizer steps (the body of
+``IPPOTrainer.update_ugv``) four ways:
+
+* ``baseline``          — tracing off (the default production path);
+* ``tracing_off``       — a second off run, to show run-to-run noise;
+* ``tracing_on``        — every step inside ``trace()``, full site
+                          provenance (``sys._getframe`` walk per op);
+* ``tracing_no_sites``  — ``trace(site_provenance=False)``, record ops
+                          and edges but skip the stack walk.
+
+Also times one full ``repro graphcheck`` pass over GARL (env build +
+two traced steps per policy + all five passes).  Results land in
+``BENCH_graphcheck.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/graphcheck_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.garl import GARLAgent
+from repro.experiments import get_preset
+from repro.experiments.runner import build_env
+from repro.nn import clip_grad_norm
+from repro.nn.tracer import trace
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+STEPS = 50
+
+
+def build_trainer():
+    preset = get_preset("smoke")
+    env = build_env("kaist", preset, num_ugvs=4, num_uavs_per_ugv=2, seed=0)
+    agent = GARLAgent(env, preset.garl_config())
+    trainer = agent.trainer
+    ugv_samples, _, _, _, _ = trainer.collect(episodes=1)
+    return trainer, ugv_samples
+
+
+def run_steps(trainer, samples, steps: int, tracing: str) -> dict:
+    ppo = trainer.ppo
+    advantages = np.array([s.advantage for s in samples])
+    norm_adv = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+    order = np.arange(len(samples))
+    rng = np.random.default_rng(0)
+
+    per_step = []
+    for step in range(steps):
+        if step * ppo.minibatch_size % max(len(order), 1) == 0:
+            rng.shuffle(order)
+        start = (step * ppo.minibatch_size) % max(len(order), 1)
+        batch_idx = order[start:start + ppo.minibatch_size]
+        if batch_idx.size == 0:
+            batch_idx = order
+
+        def one_step():
+            loss, _, _ = trainer._ugv_minibatch_loss(samples, batch_idx, norm_adv)
+            trainer.ugv_optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(trainer.ugv_optimizer.params, ppo.max_grad_norm)
+            trainer.ugv_optimizer.step()
+
+        t0 = time.perf_counter()
+        if tracing == "off":
+            one_step()
+        elif tracing == "on":
+            with trace():
+                one_step()
+        else:  # no_sites
+            with trace(site_provenance=False):
+                one_step()
+        per_step.append(time.perf_counter() - t0)
+    arr = np.asarray(per_step)
+    return {
+        "steps": steps,
+        "total_seconds": round(float(arr.sum()), 4),
+        "mean_ms": round(float(arr.mean() * 1e3), 3),
+        "median_ms": round(float(np.median(arr) * 1e3), 3),
+        "p90_ms": round(float(np.percentile(arr, 90) * 1e3), 3),
+    }
+
+
+def time_graphcheck() -> dict:
+    from repro.analysis.graphcheck.runner import check_method
+
+    t0 = time.perf_counter()
+    report = check_method("garl", num_ugvs=3, num_uavs_per_ugv=1)
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": round(seconds, 4),
+        "nodes": {part: len(ir) for part, ir in report.irs.items()},
+        "findings": len(report.diagnostics),
+    }
+
+
+def main() -> None:
+    trainer, samples = build_trainer()
+    run_steps(trainer, samples, 5, tracing="off")  # warm up
+
+    baseline = run_steps(trainer, samples, STEPS, tracing="off")
+    off_again = run_steps(trainer, samples, STEPS, tracing="off")
+    on = run_steps(trainer, samples, STEPS, tracing="on")
+    no_sites = run_steps(trainer, samples, STEPS, tracing="no_sites")
+
+    noise = abs(off_again["mean_ms"] - baseline["mean_ms"])
+    report = {
+        "bench": "graphcheck_overhead",
+        "workload": f"{STEPS} UGV PPO minibatch steps, GARL smoke preset, "
+                    f"kaist, 4 UGVs x 2 UAVs, {len(samples)} samples",
+        "baseline": baseline,
+        "tracing_off": off_again,
+        "tracing_on": on,
+        "tracing_no_sites": no_sites,
+        "overhead": {
+            "off_vs_baseline_x": round(off_again["mean_ms"] / baseline["mean_ms"], 3),
+            "on_vs_baseline_x": round(on["mean_ms"] / baseline["mean_ms"], 3),
+            "no_sites_vs_baseline_x": round(
+                no_sites["mean_ms"] / baseline["mean_ms"], 3),
+            "run_to_run_noise_ms": round(noise, 3),
+        },
+        "graphcheck_garl": time_graphcheck(),
+    }
+    out = REPO_ROOT / "BENCH_graphcheck.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """``repro.analysis`` — correctness tooling for the hand-written autodiff stack.
 
-Two halves:
+Three legs:
 
 * **reprolint** (:mod:`repro.analysis.lint`, :mod:`repro.analysis.rules`) —
   a stdlib-``ast`` static-analysis pass with rules tuned to the classic
@@ -8,15 +8,24 @@ Two halves:
   ``np.*`` calls that escape the autograd graph, rollouts missing
   ``no_grad()``, float32 drift into the float64 engine, backward closures
   capturing loop variables, bare asserts in hot paths, optimizer steps
-  without ``zero_grad()``, and unguarded reciprocals.  Run it with
+  without ``zero_grad()``, unguarded reciprocals, and tensors parked on
+  ``self`` across timesteps without ``detach()``.  Run it with
   ``repro lint [paths]`` or the ``reprolint`` console script.
+
+* **graphcheck** (:mod:`repro.analysis.graphcheck`) — traces one training
+  step's autodiff tape into a typed graph IR and statically verifies it:
+  symbolic shapes with a polymorphic batch dimension, gradient flow to
+  every parameter, softmax invariants, cross-step tape growth, and
+  common-subexpression reporting.  Run it with ``repro graphcheck``.
 
 * the **runtime numerics sanitizer** lives next to the engine in
   :mod:`repro.nn.anomaly` (``repro.nn.detect_anomaly()``); see
   ``docs/static_analysis.md`` for the full story.
 """
 
+from . import graphcheck
 from .lint import Diagnostic, lint_paths, lint_source, main
 from .rules import RULES, Rule
 
-__all__ = ["Diagnostic", "Rule", "RULES", "lint_source", "lint_paths", "main"]
+__all__ = ["Diagnostic", "Rule", "RULES", "lint_source", "lint_paths", "main",
+           "graphcheck"]

@@ -1,0 +1,49 @@
+"""``repro.analysis.graphcheck`` — static verification of traced tapes.
+
+The tracer (:mod:`repro.nn.tracer`) captures one step's autodiff tape;
+this package compiles the tape into a typed graph IR (:mod:`.ir`) and
+runs a catalogue of analyses over it (:mod:`.passes`):
+
+* **GC001 shape-check** — symbolic shape/dtype propagation with a
+  polymorphic batch dimension plus suspicious-broadcast detection;
+* **GC002 detached-parameter** — module parameters with no gradient
+  path to the traced loss, reported by module path;
+* **GC003 softmax-invariant** — softmax/log-softmax outputs whose rows
+  do not sum to 1, or whose masked entries carry probability;
+* **GC004 tape-growth** — cross-step graph diff flagging tapes that
+  grow or drift in structure between consecutive steps;
+* **GC005 common-subexpression** — redundantly recomputed subgraphs,
+  reported as named caching opportunities (informational).
+
+``repro graphcheck`` (see :mod:`.runner`) builds GARL and every
+registered baseline on a tiny map and runs the full catalogue.
+"""
+
+from .ir import GraphIR, IRNode, build_ir
+from .passes import (
+    PASSES,
+    GraphDiagnostic,
+    check_common_subexpressions,
+    check_detached_params,
+    check_shapes,
+    check_softmax_invariants,
+    check_tape_growth,
+    run_all_passes,
+)
+from .runner import check_method, main
+
+__all__ = [
+    "GraphIR",
+    "IRNode",
+    "build_ir",
+    "GraphDiagnostic",
+    "PASSES",
+    "check_shapes",
+    "check_detached_params",
+    "check_softmax_invariants",
+    "check_tape_growth",
+    "check_common_subexpressions",
+    "run_all_passes",
+    "check_method",
+    "main",
+]

@@ -1,0 +1,247 @@
+"""Drive graphcheck over GARL and the registered baselines.
+
+:func:`check_method` builds an agent on a tiny campus, traces one
+surrogate training step (forward + loss + backward) of its UGV policy —
+twice, so the cross-step diff has two tapes — compiles each tape into a
+:class:`~repro.analysis.graphcheck.ir.GraphIR` and runs the full pass
+catalogue.  Agents exposing the shared CNN ``uav_policy`` additionally
+get a batched UAV trace at a synthetic batch size, which is what gives
+the shape pass a real polymorphic batch dimension to verify.
+
+Diagnostics are filtered through inline suppressions: a finding whose
+creation-site source line contains ``# graphcheck: disable`` (optionally
+``disable=GC001,GC005``) is dropped, mirroring reprolint's syntax.
+
+``repro graphcheck`` (see :func:`main`) prints findings in reprolint's
+``path:line: CODE message [pass]`` form and exits 1 on errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ...nn import Module, trace
+from .ir import GraphIR, build_ir
+from .passes import GraphDiagnostic, check_tape_growth, run_all_passes
+
+__all__ = ["MethodReport", "check_method", "filter_suppressed", "main"]
+
+# Batch size for the synthetic UAV trace.  Deliberately not 1 (a batch-1
+# trace cannot distinguish batch from singleton axes) and not 3 (the
+# grid channel count, which would alias the batch symbol onto channels).
+_UAV_BATCH = 4
+
+
+@dataclass
+class MethodReport:
+    """Graphcheck result for one registry method."""
+
+    method: str
+    diagnostics: list[GraphDiagnostic] = field(default_factory=list)
+    irs: dict[str, GraphIR] = field(default_factory=dict)
+    skipped: str = ""  # reason, for parameter-free agents
+
+    @property
+    def errors(self) -> list[GraphDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+
+class _FakeUAVObs:
+    """Minimal stand-in for UAVObservation (forward reads .grid/.aux)."""
+
+    __slots__ = ("grid", "aux")
+
+    def __init__(self, grid: np.ndarray, aux: np.ndarray):
+        self.grid = grid
+        self.aux = aux
+
+
+def _surrogate_ugv_loss(policy, out, observations):
+    """Scalar touching every head the PPO loss touches.
+
+    ``log_probs_all`` + entropy exercise the policy head exactly as the
+    clipped surrogate does, ``values`` the critic head, and the
+    ``auxiliary_loss`` hook mirrors the trainer (AE-Comm's decoder only
+    trains through it), so a parameter reachable from this loss is
+    reachable from the real one and vice versa.
+    """
+    loss = out.distribution.log_probs_all.sum() + out.distribution.entropy().sum()
+    values = out.values
+    if values.requires_grad:
+        loss = loss + values.sum()
+    aux_fn = getattr(policy, "auxiliary_loss", None)
+    if aux_fn is not None:
+        loss = loss + aux_fn(observations)
+    return loss
+
+
+def _trace_ugv_step(policy, observations):
+    policy.zero_grad()
+    with trace() as tape:
+        tape.set_phase("forward")
+        out = policy(observations)
+        tape.set_phase("loss")
+        loss = _surrogate_ugv_loss(policy, out, observations)
+        loss.backward()
+    return tape, build_ir(tape, roots=[loss],
+                          params=dict(policy.named_parameters()))
+
+
+def _trace_uav_step(policy, rng, obs_size: int, aux_dim: int = 5):
+    observations = [
+        _FakeUAVObs(rng.random((3, obs_size, obs_size)), rng.random(aux_dim))
+        for _ in range(_UAV_BATCH)
+    ]
+    actions = rng.standard_normal((_UAV_BATCH, 2))
+    policy.zero_grad()
+    with trace() as tape:
+        tape.set_phase("forward")
+        dist, values = policy(observations)
+        tape.set_phase("loss")
+        loss = (dist.log_prob(actions).sum() + dist.entropy().sum()
+                + values.sum())
+        loss.backward()
+    return tape, build_ir(tape, roots=[loss],
+                          params=dict(policy.named_parameters()))
+
+
+def check_method(method: str, campus: str = "kaist", preset: str = "smoke",
+                 num_ugvs: int = 3, num_uavs_per_ugv: int = 1, seed: int = 0,
+                 include_cse: bool = True) -> MethodReport:
+    """Run every graphcheck pass over one registry method."""
+    from ...baselines.registry import make_agent
+    from ...experiments.presets import get_preset
+    from ...experiments.runner import build_env
+
+    preset_obj = get_preset(preset)
+    env = build_env(campus, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
+    agent = make_agent(method, env, preset_obj.garl_config())
+
+    ugv_policy = getattr(agent, "ugv_policy", None)
+    if not isinstance(ugv_policy, Module) or not ugv_policy.parameters():
+        return MethodReport(method, skipped="no trainable policy parameters")
+
+    report = MethodReport(method)
+    observations = env.reset().ugv_observations
+
+    # Two consecutive steps: tape1 must stay alive while tape2 is built
+    # so tensor identities remain stable for the cross-step diff.
+    tape1, ir1 = _trace_ugv_step(ugv_policy, observations)
+    tape2, ir2 = _trace_ugv_step(ugv_policy, observations)
+    report.irs["ugv"] = ir2
+    report.diagnostics += run_all_passes(ir2, prev_ir=ir1,
+                                         include_cse=include_cse)
+    del tape1, tape2
+
+    uav_policy = getattr(agent, "uav_policy", None)
+    if isinstance(uav_policy, Module) and uav_policy.parameters():
+        rng = np.random.default_rng(seed)
+        obs_size = env.config.uav_obs_size
+        utape1, uir1 = _trace_uav_step(uav_policy, rng, obs_size)
+        utape2, uir2 = _trace_uav_step(uav_policy, rng, obs_size)
+        report.irs["uav"] = uir2
+        report.diagnostics += run_all_passes(uir2, batch_size=_UAV_BATCH,
+                                             include_cse=include_cse)
+        report.diagnostics += check_tape_growth(uir1, uir2)
+        del utape1, utape2
+
+    report.diagnostics = filter_suppressed(report.diagnostics)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Inline suppression
+# ----------------------------------------------------------------------
+def _suppressed_codes(site: str) -> set[str] | None:
+    """Codes disabled on the source line behind ``site``; None if none.
+
+    An empty set means a bare ``# graphcheck: disable`` (all codes).
+    """
+    head = site.split(" in ", 1)[0]
+    path, sep, lineno = head.rpartition(":")
+    if not sep or not lineno.isdigit():
+        return None
+    try:
+        line = Path(path).read_text().splitlines()[int(lineno) - 1]
+    except (OSError, IndexError):
+        return None
+    marker = "# graphcheck: disable"
+    pos = line.find(marker)
+    if pos < 0:
+        return None
+    rest = line[pos + len(marker):]
+    if rest.startswith("="):
+        return {c.strip() for c in rest[1:].split()[0].split(",") if c.strip()}
+    return set()
+
+
+def filter_suppressed(diags: list[GraphDiagnostic]) -> list[GraphDiagnostic]:
+    kept = []
+    for d in diags:
+        codes = _suppressed_codes(d.site)
+        if codes is not None and (not codes or d.code in codes):
+            continue
+        kept.append(d)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    from ...baselines.registry import AGENT_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro graphcheck",
+        description="trace each method's training step into a graph IR "
+                    "and run the GC001-GC005 static passes")
+    parser.add_argument("--methods", nargs="+", default=sorted(AGENT_NAMES),
+                        choices=sorted(AGENT_NAMES))
+    parser.add_argument("--campus", default="kaist")
+    parser.add_argument("--preset", default="smoke")
+    parser.add_argument("--ugvs", type=int, default=3)
+    parser.add_argument("--uavs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--show-cse", action="store_true",
+                        help="also print GC005 caching opportunities")
+    parser.add_argument("--dot", default=None, metavar="PREFIX",
+                        help="write PREFIX.<method>.<part>.dot graph dumps")
+    parser.add_argument("--json", default=None, metavar="PREFIX",
+                        help="write PREFIX.<method>.<part>.json IR dumps")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for method in args.methods:
+        report = check_method(method, campus=args.campus, preset=args.preset,
+                              num_ugvs=args.ugvs, num_uavs_per_ugv=args.uavs,
+                              seed=args.seed, include_cse=args.show_cse)
+        if report.skipped:
+            print(f"{method}: skipped ({report.skipped})")
+            continue
+        shown = [d for d in report.diagnostics
+                 if args.show_cse or d.severity != "info"]
+        sizes = ", ".join(f"{part}: {len(ir)} nodes"
+                          for part, ir in report.irs.items())
+        status = "ok" if not any(d.severity == "error" for d in shown) else "FAIL"
+        print(f"{method}: {status} ({sizes})")
+        for d in shown:
+            print(f"  {d.format()}")
+        failures += len(report.errors)
+
+        for prefix, emit in ((args.dot, "dot"), (args.json, "json")):
+            if not prefix:
+                continue
+            for part, ir in report.irs.items():
+                path = Path(f"{prefix}.{method}.{part}.{emit}")
+                path.write_text(ir.to_dot() if emit == "dot" else ir.to_json())
+                print(f"  wrote {path}")
+
+    if failures:
+        print(f"\ngraphcheck: {failures} error(s)")
+        return 1
+    print("\ngraphcheck: all passes clean")
+    return 0

@@ -322,6 +322,105 @@ def check_unguarded_reciprocal(tree: ast.AST, ctx: Context):
 
 
 # ----------------------------------------------------------------------
+# RL009 — tensor-attr-tape-leak
+# ----------------------------------------------------------------------
+# A graph-attached Tensor parked on ``self`` inside a Module's forward
+# path keeps the whole step's tape alive into the next step: backward
+# then re-traverses the previous step's graph (wrong gradients) and
+# memory grows without bound.  Carried state must be detached first —
+# ``.detach()`` / ``.numpy()`` / re-wrapping in a fresh ``Tensor(...)``.
+# Lifecycle methods (__init__, reset*/begin*/load*/...) construct state
+# from scratch, so they are exempt; the runtime counterpart is
+# graphcheck's GC004 cross-step diff.
+_RL009_EXEMPT_METHOD = re.compile(
+    r"^(__init__$|__setstate__$|reset|begin|load|init|save|set_|post|clear)")
+
+# Calls that yield a detached value (fresh leaf or plain ndarray).
+_DETACHING_CALLS = {"detach", "numpy", "copy", "item", "init_state",
+                    "zeros_like", "asarray"} | _TENSOR_CONSTRUCTORS
+
+_TENSOR_OP_METHODS = {
+    "tanh", "relu", "sigmoid", "leaky_relu", "softmax", "log_softmax",
+    "exp", "log", "sqrt", "sum", "mean", "max", "min", "reshape",
+    "squeeze", "transpose", "expand_dims", "concat", "stack", "matmul",
+    "norm", "clip", "abs", "backward_through", "forward",
+}
+
+
+def _rhs_is_detached(node: ast.AST) -> bool:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Call):
+            f = n.func
+            name = f.attr if isinstance(f, ast.Attribute) else (
+                f.id if isinstance(f, ast.Name) else "")
+            if name in _DETACHING_CALLS:
+                return True
+    return False
+
+
+def _produces_tensor(node: ast.AST, tensor_names: set[str],
+                     tensor_attrs: frozenset[str] = frozenset()) -> bool:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return any(_produces_tensor(e, tensor_names, tensor_attrs)
+                   for e in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id in tensor_names
+    if isinstance(node, ast.Attribute):
+        return (isinstance(node.value, ast.Name) and node.value.id == "self"
+                and node.attr in tensor_attrs)
+    if isinstance(node, ast.BinOp):
+        return (_produces_tensor(node.left, tensor_names, tensor_attrs)
+                or _produces_tensor(node.right, tensor_names, tensor_attrs))
+    if isinstance(node, ast.Subscript):
+        return _produces_tensor(node.value, tensor_names, tensor_attrs)
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            if f.attr in _TENSOR_OP_METHODS:
+                return True
+            # ``self.submodule(...)``: a module call returns graph tensors.
+            if isinstance(f.value, ast.Name) and f.value.id == "self":
+                return True
+    return False
+
+
+def check_tensor_attr_tape_leak(tree: ast.AST, ctx: Context):
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        bases = {b for base in cls.bases for b in _names_in(base)}
+        if "Module" not in bases:
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, _FUNCTIONS) or _RL009_EXEMPT_METHOD.match(fn.name):
+                continue
+            tensor_names: set[str] = set()
+            tensor_attrs: set[str] = set()
+            for stmt in _iter_stmts(fn.body):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                produces = (_produces_tensor(stmt.value, tensor_names,
+                                             frozenset(tensor_attrs))
+                            and not _rhs_is_detached(stmt.value))
+                for target in stmt.targets:
+                    for leaf in _flatten_targets(target):
+                        if (isinstance(leaf, ast.Attribute)
+                                and isinstance(leaf.value, ast.Name)
+                                and leaf.value.id == "self" and produces):
+                            tensor_attrs.add(leaf.attr)
+                            yield (stmt, f"`self.{leaf.attr}` stores a graph-attached "
+                                         f"Tensor across timesteps; the autodiff tape "
+                                         f"grows step over step and backward revisits "
+                                         f"stale graphs — detach carried state "
+                                         f"(`.detach()`, `.numpy()`, or wrap in a "
+                                         f"fresh `Tensor(...)`)")
+                        elif isinstance(leaf, ast.Name) and produces:
+                            tensor_names.add(leaf.id)
+                        elif isinstance(leaf, ast.Name):
+                            tensor_names.discard(leaf.id)
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 RULES: list[Rule] = [
@@ -349,4 +448,7 @@ RULES: list[Rule] = [
     Rule("RL008", "unguarded-reciprocal",
          "`1 / x` with no epsilon or clamp on the denominator",
          check_unguarded_reciprocal, src_only=True),
+    Rule("RL009", "tensor-attr-tape-leak",
+         "Graph-attached Tensors stored on `self` across timesteps without detach",
+         check_tensor_attr_tape_leak, src_only=True, engine_exempt=True),
 ]

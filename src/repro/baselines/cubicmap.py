@@ -16,7 +16,7 @@ from ..core.config import GARLConfig
 from ..core.policies import UGVPolicyOutput, bias_release_head
 from ..env.airground import AirGroundEnv
 from ..maps.stop_graph import StopGraph
-from ..nn import MLP, Conv2d, Linear, Module, Parameter, Tensor
+from ..nn import MLP, Conv2d, Linear, Module, Parameter, Tensor, annotate
 from ..nn.init import xavier_uniform
 from .base import NodeScorer, PolicyAgent, assemble_output
 
@@ -73,7 +73,8 @@ class CubicMapUGVPolicy(Module):
 
         # Content-based memory read.
         query = self.read_query(encoded)  # (U, D)
-        attention = (query @ self.memory.transpose()).softmax(axis=-1)  # (U, S)
+        attention = annotate((query @ self.memory.transpose()).softmax(axis=-1),
+                             "CubicMap.memory_attention")  # (U, S)
         read = attention @ self.memory  # (U, D)
         feature = Tensor.concat([encoded, read], axis=-1)  # (U, 2D)
 

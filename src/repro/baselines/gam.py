@@ -40,13 +40,21 @@ class GAMUGVPolicy(Module):
         self.value_head = MLP([dim, dim, 1], rng=rng, final_gain=1.0)
 
     def _traverse(self, h: Tensor) -> Tensor:
-        """Feed the k most important node features through the LSTM."""
+        """Feed the k most important node features through the LSTM.
+
+        The visit order is a hard (non-differentiable) argsort, so the
+        importance scores also gate each visited node's features; without
+        the gate the importance head gets no gradient at all (graphcheck
+        GC002) and the "learned" ranking would stay at its random init.
+        """
         ranking = self.importance(h).squeeze(-1)  # (B,)
         order = np.argsort(-ranking.numpy())[: self.top_k]
+        gate = ranking.sigmoid()
         state = self.lstm.init_state(1)
         out = state[0]
         for idx in order:
-            out, state = self.lstm(h[int(idx)].reshape(1, -1), state)
+            node = h[int(idx)] * gate[int(idx)]
+            out, state = self.lstm(node.reshape(1, -1), state)
         return out.squeeze(0)
 
     def forward(self, observations) -> UGVPolicyOutput:

@@ -12,6 +12,8 @@ Commands mirror the paper's experiments:
 * ``trajectories`` — Fig. 7 trajectory statistics.
 * ``lint``         — reprolint static analysis over the codebase
                      (autodiff-misuse rules; see docs/static_analysis.md).
+* ``graphcheck``   — trace each method's training step into a graph IR
+                     and run the GC001-GC005 static passes over it.
 """
 
 from __future__ import annotations
@@ -112,10 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files or directories to lint (default: src)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+
+    p_gc = sub.add_parser("graphcheck", add_help=False,
+                          help="trace each method's training step into a "
+                               "graph IR and run the GC001-GC005 passes "
+                               "(exit 1 on findings)")
+    p_gc.add_argument("gc_args", nargs=argparse.REMAINDER,
+                      help="arguments for the graphcheck runner "
+                           "(--methods, --dot, --json, --show-cse, ...)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "graphcheck":
+        # Dispatch before parsing: argparse's REMAINDER does not capture
+        # leading options, and the runner owns its own option surface.
+        from .analysis.graphcheck import main as graphcheck_main
+
+        return graphcheck_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.command == "lint":
@@ -125,6 +142,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.list_rules:
             lint_args.append("--list-rules")
         return lint_main(lint_args)
+
+    if args.command == "graphcheck":
+        from .analysis.graphcheck import main as graphcheck_main
+
+        return graphcheck_main(args.gc_args)
 
     preset = get_preset(args.preset)
 

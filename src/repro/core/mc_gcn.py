@@ -69,8 +69,12 @@ class MCGCN(Module):
         dims = [in_features] + [dim] * config.mc_gcn_layers
         self.gcn_layers = [GCNLayer(a, b, rng=rng, activation="tanh")
                            for a, b in zip(dims[:-1], dims[1:])]
-        # W_1 of Eqn. (21a), one per layer (bilinear attention).
-        self.attn_weights = [Parameter(xavier_uniform((a, a), rng)) for a in dims[:-1]]
+        # W_1 of Eqn. (21a), one per layer (bilinear attention).  The
+        # "w/o MC" ablation never calls _attention, so creating these
+        # would leave optimiser-registered parameters with no gradient
+        # path (caught by graphcheck GC002).
+        self.attn_weights = ([Parameter(xavier_uniform((a, a), rng)) for a in dims[:-1]]
+                             if config.use_mc_gcn else [])
         # phi_H of Eqn. (23): linear readout of the pooled top layer.
         self.readout = Linear(2 * dim, dim, rng=rng)
 

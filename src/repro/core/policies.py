@@ -80,8 +80,9 @@ class UGVPolicy(Module):
         self.ecomm = EComm(dim, config, rng=rng) if config.use_ecomm else None
         # Per-stop score from that stop's node feature.
         self.node_head = Linear(dim, 1, rng=rng, init="orthogonal", gain=0.01)
-        # Mixing weight for the E-Comm preference scores z.
-        self.z_scale = Parameter(np.array([0.1]))
+        # Mixing weight for the E-Comm preference scores z; only exists
+        # when E-Comm produces a z (graphcheck GC002 flags it otherwise).
+        self.z_scale = Parameter(np.array([0.1])) if config.use_ecomm else None
         # Release logit and value from the compact feature h.
         self.release_head = MLP([dim, dim, 1], rng=rng, final_gain=0.01)
         bias_release_head(self.release_head)

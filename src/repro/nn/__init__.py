@@ -35,6 +35,7 @@ from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
 from .recurrent import GRUCell, LSTMCell
 from .serialize import load_checkpoint, save_checkpoint
 from .tensor import Tensor, as_tensor, enable_grad, is_grad_enabled, no_grad
+from .tracer import TapeRecord, active_trace, is_tracing, trace
 
 __all__ = [
     "functional",
@@ -45,6 +46,10 @@ __all__ = [
     "is_grad_enabled",
     "detect_anomaly",
     "is_anomaly_enabled",
+    "trace",
+    "is_tracing",
+    "active_trace",
+    "TapeRecord",
     "annotate",
     "AnomalyError",
     "InplaceMutationError",

@@ -33,6 +33,8 @@ import zlib
 
 import numpy as np
 
+from . import tracer as _tracer
+
 __all__ = [
     "AnomalyError",
     "InplaceMutationError",
@@ -196,8 +198,13 @@ def annotate(tensor, label: str):
 
     Model code calls this at numerically delicate spots (attention
     weights, inverse-distance softmaxes, losses) so sanitizer errors name
-    the construct, not just the raw op.  Free when the mode is disabled.
+    the construct, not just the raw op.  The graph tracer (``repro.nn.trace``)
+    picks the label up too, so graphcheck diagnostics name the construct.
+    Free when both modes are disabled.
     """
+    if _tracer._ACTIVE is not None:
+        _tracer._ACTIVE.label(tensor, label)
+        tensor.name = label
     if _ENABLED:
         rec = getattr(tensor, "_anomaly", None)
         if rec is not None:

@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from . import anomaly as _anomaly
+from . import tracer as _tracer
 
 __all__ = ["Tensor", "no_grad", "enable_grad", "is_grad_enabled", "as_tensor"]
 
@@ -209,6 +210,8 @@ class Tensor:
             child._prev = tuple(parents)
         if _anomaly._ENABLED:
             _anomaly.record_op(child, parents, op)
+        if _tracer._ACTIVE is not None:
+            _tracer._ACTIVE.record_op(child, parents, op)
         return child
 
     def _accumulate(self, grad: np.ndarray) -> None:

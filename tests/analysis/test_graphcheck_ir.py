@@ -1,0 +1,135 @@
+"""IR construction: tape -> GraphIR with full edges, params, serialisers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.graphcheck import build_ir
+from repro.nn import Linear, Module, Tensor, trace
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.first = Linear(3, 4, rng=rng)
+        self.second = Linear(4, 1, rng=rng)
+
+    def forward(self, x):
+        return self.second(self.first(x).tanh())
+
+
+@pytest.fixture()
+def traced():
+    model = TwoLayer()
+    with trace() as tape:
+        tape.set_phase("forward")
+        out = model(Tensor(np.ones((2, 3))))
+        tape.set_phase("loss")
+        loss = out.sum()
+        loss.backward()
+    ir = build_ir(tape, roots=[loss], params=dict(model.named_parameters()))
+    return model, ir, loss
+
+
+def test_nodes_are_topologically_ordered(traced):
+    _, ir, _ = traced
+    for node in ir:
+        assert all(src < node.id for src in node.inputs)
+
+
+def test_every_edge_resolves_and_leaves_exist(traced):
+    _, ir, _ = traced
+    ids = {n.id for n in ir}
+    for node in ir:
+        assert set(node.inputs) <= ids
+    assert any(n.is_leaf and not n.is_param for n in ir)  # the input x
+
+
+def test_params_tagged_with_module_paths(traced):
+    model, ir, _ = traced
+    tagged = {n.param_path for n in ir if n.is_param}
+    assert tagged == set(dict(model.named_parameters()))
+    # Params fed the matmuls, so they are leaves with consumers.
+    consumers = ir.consumers()
+    weight = next(n for n in ir if n.param_path == "first.weight")
+    assert consumers[weight.id]
+
+
+def test_root_is_the_loss_and_grad_reachability(traced):
+    model, ir, loss = traced
+    root = ir.node(ir.roots[0])
+    assert root.op == "sum" and root.shape == ()
+    reachable = ir.grad_reachable()
+    for node in ir:
+        if node.is_param:
+            assert node.id in reachable
+
+
+def test_phases_and_sites_recorded(traced):
+    _, ir, _ = traced
+    phases = {n.phase for n in ir if not n.is_leaf}
+    assert phases == {"forward", "loss"}
+    sites = [n.site for n in ir if not n.is_leaf]
+    # Creation sites attribute to user code, not engine internals.
+    assert all("tensor.py" not in s and "functional.py" not in s for s in sites)
+    assert any("test_graphcheck_ir.py" in s for s in sites)
+
+
+def test_ops_histogram_counts_non_leaves(traced):
+    _, ir, _ = traced
+    ops = ir.ops()
+    assert ops["matmul"] == 2
+    assert ops["tanh"] == 1
+    assert "leaf" not in ops and "param" not in ops
+
+
+def test_find_by_op_and_label():
+    with trace() as tape:
+        x = Tensor(np.zeros((2, 3)))
+        y = x.softmax(axis=-1)
+        tape.label(y, "demo.weights")
+    ir = build_ir(tape, roots=[y])
+    assert [n.id for n in ir.find(op="softmax")] == [n.id for n in ir.find(label="demo")]
+
+
+def test_json_round_trips_and_drops_data(traced):
+    _, ir, _ = traced
+    payload = json.loads(ir.to_json())
+    assert len(payload["nodes"]) == len(ir)
+    assert payload["roots"] == list(ir.roots)
+    assert "data" not in payload["nodes"][0]
+    node = next(d for d in payload["nodes"] if d["param_path"] == "second.weight")
+    assert node["shape"] == [4, 1]
+
+
+def test_dot_emits_every_node_and_edge(traced):
+    _, ir, _ = traced
+    dot = ir.to_dot()
+    assert dot.startswith("digraph")
+    for node in ir:
+        assert f"n{node.id} [" in dot
+        for src in node.inputs:
+            assert f"n{src} -> n{node.id};" in dot
+
+
+def test_unused_params_still_get_nodes():
+    model = TwoLayer()
+    with trace() as tape:
+        loss = model.first(Tensor(np.ones((1, 3)))).sum()
+    ir = build_ir(tape, roots=[loss], params=dict(model.named_parameters()))
+    second = [n for n in ir if n.param_path.startswith("second.")]
+    assert len(second) == 2 and all(not ir.consumers()[n.id] for n in second)
+
+
+def test_trace_keeps_constant_subgraphs():
+    # _prev is pruned for no-grad children; the tape must not be.
+    with trace() as tape:
+        a = Tensor(np.ones(3))            # requires_grad False
+        b = (a * 2.0).softmax(axis=-1)
+    ir = build_ir(tape, roots=[b])
+    soft = ir.find(op="softmax")[0]
+    assert soft.inputs and not soft.requires_grad

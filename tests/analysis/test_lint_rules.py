@@ -248,6 +248,64 @@ def test_rl008_silent_with_epsilon_guard():
 
 
 # ----------------------------------------------------------------------
+# RL009 tensor-attr-tape-leak
+# ----------------------------------------------------------------------
+def test_rl009_fires_on_graph_attached_state():
+    bad = """
+    from repro.nn import Module
+
+    class Recurrent(Module):
+        def forward(self, x):
+            h = self.cell(x)
+            self.hidden = h
+            self.cache = self.hidden + x
+            return h
+    """
+    assert codes(bad).count("RL009") == 2
+
+
+def test_rl009_silent_on_detached_or_lifecycle_stores():
+    good = """
+    import numpy as np
+    from repro.nn import Module, Tensor
+
+    class Recurrent(Module):
+        def __init__(self):
+            super().__init__()
+            self.hidden = None
+
+        def reset(self):
+            self.hidden = self.cell.init_state()
+
+        def forward(self, x):
+            h = self.cell(x)
+            self.hidden = Tensor(h.numpy().copy())
+            self.count = 3
+            return h
+    """
+    assert codes(good) == []
+
+
+def test_rl009_only_applies_to_modules_in_src():
+    non_module = """
+    class Buffer:
+        def forward(self, x):
+            self.last = self.cell(x)
+            return self.last
+    """
+    assert codes(non_module) == []
+    in_test = """
+    from repro.nn import Module
+
+    class Recurrent(Module):
+        def forward(self, x):
+            self.hidden = self.cell(x)
+            return self.hidden
+    """
+    assert codes(in_test, TEST_PATH) == []
+
+
+# ----------------------------------------------------------------------
 # Suppression + infrastructure
 # ----------------------------------------------------------------------
 def test_inline_suppression_by_code_and_bare():
