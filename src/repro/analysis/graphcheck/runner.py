@@ -35,6 +35,11 @@ __all__ = ["MethodReport", "check_method", "filter_suppressed", "main"]
 # grid channel count, which would alias the batch symbol onto channels).
 _UAV_BATCH = 4
 
+# Replica count for the vectorized UGV trace.  Distinct from the UAV
+# batch, the agent count, the grid channel count and the hidden dim so
+# the batch symbol cannot alias any structural axis.
+_VEC_BATCH = 5
+
 
 @dataclass
 class MethodReport:
@@ -91,6 +96,27 @@ def _trace_ugv_step(policy, observations):
                           params=dict(policy.named_parameters()))
 
 
+def _trace_ugv_vec_step(policy, vec_obs):
+    """Trace one surrogate step of the *batched* UGV forward.
+
+    Same surrogate loss as :func:`_trace_ugv_step` over stacked replica
+    observations; auxiliary losses are skipped (the vectorized trainer
+    computes them through the per-replica view adapter, which the
+    sequential trace already covers).
+    """
+    policy.zero_grad()
+    with trace() as tape:
+        tape.set_phase("forward")
+        out = policy.forward_batched(vec_obs)
+        tape.set_phase("loss")
+        loss = out.distribution.log_probs_all.sum() + out.distribution.entropy().sum()
+        if out.values.requires_grad:
+            loss = loss + out.values.sum()
+        loss.backward()
+    return tape, build_ir(tape, roots=[loss],
+                          params=dict(policy.named_parameters()))
+
+
 def _trace_uav_step(policy, rng, obs_size: int, aux_dim: int = 5):
     observations = [
         _FakeUAVObs(rng.random((3, obs_size, obs_size)), rng.random(aux_dim))
@@ -136,6 +162,24 @@ def check_method(method: str, campus: str = "kaist", preset: str = "smoke",
     report.diagnostics += run_all_passes(ir2, prev_ir=ir1,
                                          include_cse=include_cse)
     del tape1, tape2
+
+    # Policies with a *native* vectorized forward (GARL's UGVPolicy; the
+    # baseline mixin's generic per-replica fallback re-runs the traced
+    # sequential path) get the batched graph checked too: the shape pass
+    # sees a true replica batch axis and GC004 diffs two vectorized
+    # steps for tape growth.
+    if "forward_batched" in type(ugv_policy).__dict__:
+        from ...env.observation import UGVObsArrays
+
+        vec_obs = UGVObsArrays.from_observations([observations] * _VEC_BATCH)
+        vtape1, vir1 = _trace_ugv_vec_step(ugv_policy, vec_obs)
+        vtape2, vir2 = _trace_ugv_vec_step(ugv_policy, vec_obs)
+        report.irs["ugv_vec"] = vir2
+        report.diagnostics += run_all_passes(vir2, prev_ir=vir1,
+                                             batch_size=_VEC_BATCH,
+                                             include_cse=include_cse)
+        report.diagnostics += check_tape_growth(vir1, vir2)
+        del vtape1, vtape2
 
     uav_policy = getattr(agent, "uav_policy", None)
     if isinstance(uav_policy, Module) and uav_policy.parameters():

@@ -1,7 +1,7 @@
 """``repro.baselines`` — the eight comparison methods of Section V-D."""
 
 from .aecomm import AECommAgent, AECommUGVPolicy
-from .base import NodeScorer, PolicyAgent, assemble_output, flat_obs_dim
+from .base import BatchedUGVPolicyMixin, NodeScorer, PolicyAgent, assemble_output, flat_obs_dim
 from .cubicmap import CubicMapAgent, CubicMapUGVPolicy
 from .dgn import DGNAgent, DGNUGVPolicy
 from .gam import GAMAgent, GAMUGVPolicy
@@ -14,6 +14,7 @@ from .registry import AGENT_NAMES, METHOD_LABELS, make_agent
 
 __all__ = [
     "PolicyAgent",
+    "BatchedUGVPolicyMixin",
     "NodeScorer",
     "assemble_output",
     "flat_obs_dim",

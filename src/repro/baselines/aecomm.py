@@ -16,12 +16,12 @@ from ..core.policies import UGVPolicyOutput, bias_release_head
 from ..env.airground import AirGroundEnv
 from ..nn import MLP, Module, Tensor
 from ..nn import functional as F
-from .base import NodeScorer, PolicyAgent, assemble_output, flat_obs_dim
+from .base import BatchedUGVPolicyMixin, NodeScorer, PolicyAgent, assemble_output, flat_obs_dim
 
 __all__ = ["AECommUGVPolicy", "AECommAgent"]
 
 
-class AECommUGVPolicy(Module):
+class AECommUGVPolicy(BatchedUGVPolicyMixin, Module):
     """Encoder/decoder latent messaging + mean-pooled communication."""
 
     def __init__(self, obs_dim: int, config: GARLConfig,

@@ -18,10 +18,31 @@ from ..core.ippo import IPPOTrainer, TrainRecord, run_episode
 from ..core.policies import UAVPolicy, UGVPolicyOutput
 from ..env.airground import AirGroundEnv
 from ..env.metrics import MetricSnapshot
-from ..env.observation import UGVObservation
+from ..env.observation import UGVObsArrays, UGVObservation
 from ..nn import MLP, Linear, Module, Tensor, load_checkpoint, save_checkpoint
 
-__all__ = ["NodeScorer", "assemble_output", "flat_obs_dim", "PolicyAgent"]
+__all__ = ["BatchedUGVPolicyMixin", "NodeScorer", "assemble_output",
+           "flat_obs_dim", "PolicyAgent"]
+
+
+class BatchedUGVPolicyMixin:
+    """Adapter giving a sequential UGV policy the batched-forward contract.
+
+    ``forward_batched`` accepts :class:`UGVObsArrays` with a leading
+    replica axis and returns stacked ``(P, U, B + 1)`` logits / ``(P, U)``
+    values.  The default implementation runs one sequential forward per
+    replica — correct for any stateless policy, at unbatched speed; a
+    policy with a genuinely vectorized path overrides it (as GARL's
+    :class:`repro.core.policies.UGVPolicy` does natively).
+    """
+
+    supports_vectorized = True
+
+    def forward_batched(self, obs: UGVObsArrays) -> UGVPolicyOutput:
+        outputs = [self(obs.observations(p)) for p in range(obs.lead_shape[0])]
+        logits = Tensor.stack([out.logits for out in outputs], axis=0)
+        values = Tensor.stack([out.values for out in outputs], axis=0)
+        return UGVPolicyOutput(logits, values)
 
 
 def flat_obs_dim(env: AirGroundEnv) -> int:
@@ -82,8 +103,9 @@ class PolicyAgent:
                                    self.config.ppo, seed=self.config.seed)
 
     def train(self, iterations: int, episodes_per_iteration: int = 1,
-              callback=None) -> list[TrainRecord]:
-        return self.trainer.train(iterations, episodes_per_iteration, callback)
+              callback=None, num_envs: int = 1) -> list[TrainRecord]:
+        return self.trainer.train(iterations, episodes_per_iteration, callback,
+                                  num_envs=num_envs)
 
     def evaluate(self, episodes: int = 1, greedy: bool = True) -> MetricSnapshot:
         return self.trainer.evaluate(episodes, greedy)

@@ -18,12 +18,12 @@ from ..env.airground import AirGroundEnv
 from ..maps.stop_graph import StopGraph
 from ..nn import MLP, Conv2d, Linear, Module, Parameter, Tensor, annotate
 from ..nn.init import xavier_uniform
-from .base import NodeScorer, PolicyAgent, assemble_output
+from .base import BatchedUGVPolicyMixin, NodeScorer, PolicyAgent, assemble_output
 
 __all__ = ["CubicMapUGVPolicy", "CubicMapAgent"]
 
 
-class CubicMapUGVPolicy(Module):
+class CubicMapUGVPolicy(BatchedUGVPolicyMixin, Module):
     """Rasterised observation -> CNN -> slot-memory read -> heads."""
 
     def __init__(self, stops: StopGraph, config: GARLConfig,

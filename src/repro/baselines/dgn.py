@@ -15,12 +15,12 @@ from ..core.config import GARLConfig
 from ..core.policies import UGVPolicyOutput, bias_release_head
 from ..env.airground import AirGroundEnv
 from ..nn import MLP, Module, MultiHeadAttention, Tensor
-from .base import NodeScorer, PolicyAgent, assemble_output, flat_obs_dim
+from .base import BatchedUGVPolicyMixin, NodeScorer, PolicyAgent, assemble_output, flat_obs_dim
 
 __all__ = ["DGNUGVPolicy", "DGNAgent"]
 
 
-class DGNUGVPolicy(Module):
+class DGNUGVPolicy(BatchedUGVPolicyMixin, Module):
     """Observation encoder + stacked relational attention over agents."""
 
     def __init__(self, obs_dim: int, config: GARLConfig,

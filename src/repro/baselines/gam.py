@@ -14,12 +14,12 @@ from ..core.policies import UGVPolicyOutput, bias_release_head
 from ..env.airground import AirGroundEnv
 from ..maps.stop_graph import StopGraph
 from ..nn import MLP, GCNLayer, Linear, LSTMCell, Module, Tensor, normalized_laplacian
-from .base import PolicyAgent, assemble_output
+from .base import BatchedUGVPolicyMixin, PolicyAgent, assemble_output
 
 __all__ = ["GAMUGVPolicy", "GAMAgent"]
 
 
-class GAMUGVPolicy(Module):
+class GAMUGVPolicy(BatchedUGVPolicyMixin, Module):
     """GCN features -> top-k importance ranking -> LSTM traversal -> heads."""
 
     def __init__(self, stops: StopGraph, config: GARLConfig,

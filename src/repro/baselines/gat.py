@@ -14,12 +14,12 @@ from ..core.policies import UGVPolicyOutput, bias_release_head
 from ..env.airground import AirGroundEnv
 from ..maps.stop_graph import StopGraph
 from ..nn import MLP, GATLayer, Linear, Module, Tensor
-from .base import PolicyAgent, assemble_output
+from .base import BatchedUGVPolicyMixin, PolicyAgent, assemble_output
 
 __all__ = ["GATUGVPolicy", "GATAgent"]
 
 
-class GATUGVPolicy(Module):
+class GATUGVPolicy(BatchedUGVPolicyMixin, Module):
     """Stacked GAT layers -> per-stop scores + pooled release/value heads."""
 
     def __init__(self, stops: StopGraph, config: GARLConfig,

@@ -25,6 +25,11 @@ __all__ = ["IC3NetUGVPolicy", "IC3NetAgent"]
 class IC3NetUGVPolicy(Module):
     """Encoder -> gated mean communication -> LSTM core -> heads."""
 
+    # The recurrent state advances with each rollout step and replays by
+    # observation-list identity, so replica-interleaved (vectorized)
+    # collection would corrupt it; the trainer falls back to sequential.
+    supports_vectorized = False
+
     def __init__(self, obs_dim: int, config: GARLConfig,
                  rng: np.random.Generator | None = None):
         super().__init__()

@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--uavs", type=int, default=2)
     p_train.add_argument("--iterations", type=int, default=None,
                          help="override the preset's training iterations")
+    p_train.add_argument("--num-envs", type=int, default=1,
+                         help="collect from this many vectorized env "
+                              "replicas per iteration (default: 1, "
+                              "sequential)")
     p_train.add_argument("--save", type=str, default=None,
                          help="directory to write the trained checkpoint")
 
@@ -153,16 +157,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "train":
         record = run_method(args.method, args.campus, preset,
                             num_ugvs=args.ugvs, num_uavs_per_ugv=args.uavs,
-                            seed=args.seed, train_iterations=args.iterations)
+                            seed=args.seed, train_iterations=args.iterations,
+                            num_envs=args.num_envs)
         m = record.metrics
         print(f"{args.method} on {args.campus}: λ={m['efficiency']:.4f} "
               f"ψ={m['psi']:.4f} ξ={m['xi']:.4f} ζ={m['zeta']:.4f} β={m['beta']:.4f}")
         if args.save:
+            import inspect
+
             env = build_env(args.campus, preset, args.ugvs, args.uavs, args.seed)
             agent = make_agent(args.method, env, preset.garl_config().replace(
                 seed=method_seed(args.method, args.seed)))
             iters = args.iterations if args.iterations is not None else preset.train_iterations
-            agent.train(iters, preset.episodes_per_iteration)
+            kwargs = {}
+            if args.num_envs > 1 and "num_envs" in inspect.signature(agent.train).parameters:
+                kwargs["num_envs"] = args.num_envs
+            agent.train(iters, preset.episodes_per_iteration, **kwargs)
             agent.save(args.save)
             print(f"checkpoint written to {args.save}")
 

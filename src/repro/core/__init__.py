@@ -1,14 +1,29 @@
 """``repro.core`` — GARL: MC-GCN, E-Comm, IPPO and the agent facade."""
 
 from .checkpointing import CheckpointManager
-from .buffer import UAVRollout, UAVSample, UGVRollout, UGVSample
+from .buffer import (
+    UAVFlatBatch,
+    UAVRollout,
+    UAVSample,
+    UGVFlatBatch,
+    UGVRollout,
+    UGVSample,
+    VecUAVRollout,
+    VecUGVRollout,
+)
 from .config import GARLConfig, PPOConfig
 from .ecomm import EComm
-from .gae import compute_gae
+from .gae import compute_gae, compute_gae_batch
 from .garl import GARLAgent
-from .ippo import IPPOTrainer, TrainRecord, run_episode
+from .ippo import IPPOTrainer, TrainRecord, run_episode, run_vec_episodes
 from .mc_gcn import MCGCN, multi_center_structural_feature
-from .policies import UAVPolicy, UGVPolicy, UGVPolicyOutput, bias_release_head
+from .policies import (
+    UAVPolicy,
+    UGVPolicy,
+    UGVPolicyOutput,
+    bias_release_head,
+    forward_policy_batched,
+)
 from .schedules import ConstantSchedule, CosineSchedule, ExponentialSchedule, LinearSchedule
 
 __all__ = [
@@ -21,13 +36,20 @@ __all__ = [
     "UAVPolicy",
     "UGVPolicyOutput",
     "compute_gae",
+    "compute_gae_batch",
     "UGVRollout",
     "UAVRollout",
     "UGVSample",
     "UAVSample",
+    "UGVFlatBatch",
+    "UAVFlatBatch",
+    "VecUGVRollout",
+    "VecUAVRollout",
+    "forward_policy_batched",
     "IPPOTrainer",
     "TrainRecord",
     "run_episode",
+    "run_vec_episodes",
     "GARLAgent",
     "CheckpointManager",
     "bias_release_head",

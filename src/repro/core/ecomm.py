@@ -84,6 +84,45 @@ class ECommLayer(Module):
         g_new = g + effect * scale
         return h_new, g_new
 
+    def forward_batch(self, h: Tensor, g: Tensor) -> tuple[Tensor, Tensor]:
+        """Replica-batched layer: h is (P, U, D), g is (P, U, 2).
+
+        Same ops as :meth:`forward` with every axis shifted right by the
+        replica dimension; all matmuls broadcast over P.
+        """
+        u = h.shape[1]
+        if u == 1:
+            zero_msg = Tensor(np.zeros_like(h.data))
+            h_new = self.phi_h(Tensor.concat([h, zero_msg], axis=-1)).tanh()
+            return h_new, g
+
+        r = g.expand_dims(2) - g.expand_dims(1)  # (P, U, U, 2), r[p, u, u'] = g_u - g_u'
+        norms = r.norm(axis=-1, eps=1e-8)  # (P, U, U)
+        eye = np.eye(u, dtype=bool)  # broadcasts over P
+
+        if self.uniform_weights:
+            alpha = Tensor(np.broadcast_to(np.where(eye, 0.0, 1.0 / (u - 1)),
+                                           norms.shape).copy())
+        else:
+            inv = 1.0 / (norms + 1e-6)
+            logits = inv + Tensor(np.where(eye, -1e9, 0.0))
+            alpha = annotate(logits.softmax(axis=-1), "EComm.alpha")  # (P, U, U)
+
+        messages = self.phi_m(h)  # (P, U, D)
+        aggregated = alpha @ messages  # (P, U, D)
+        h_new = self.phi_h(Tensor.concat([h, aggregated], axis=-1)).tanh()
+
+        unit = r / (norms.expand_dims(-1) + 1e-6)
+        magnitudes = self.phi_g(messages).squeeze(-1)  # (P, U)
+        weighted = alpha * magnitudes.expand_dims(1)  # (P, U, U)
+        effect = (weighted.expand_dims(-1) * unit).sum(axis=2)  # (P, U, 2)
+
+        effect_norm = effect.norm(axis=-1, keepdims=True, eps=1e-8)
+        scale = Tensor.minimum(Tensor(np.ones_like(effect_norm.data)),
+                               self.clip / effect_norm)
+        g_new = g + effect * scale
+        return h_new, g_new
+
 
 class EComm(Module):
     """Stacked E-Comm layers plus the stop-preference readout (Eqn. 30)."""
@@ -131,5 +170,27 @@ class EComm(Module):
         # Eqn. (30b): the readout combines invariant h with a pooled view
         # of the equivariant preference (its mean keeps dims fixed).
         z_summary = z.mean(axis=-1, keepdims=True)  # (U, 1)
+        h_final = self.phi_u(Tensor.concat([h, z_summary], axis=-1)).tanh()
+        return h_final, z, g
+
+    def forward_batch(self, features: Tensor, positions: np.ndarray,
+                      stop_positions: np.ndarray) -> tuple[Tensor, Tensor, Tensor]:
+        """Communicate among all UGVs across P stacked replicas.
+
+        Same contract as :meth:`forward` with a leading replica axis:
+        ``features`` is ``(P, U, D)``, ``positions`` is ``(P, U, 2)`` and
+        the returns are ``(P, U, D)`` / ``(P, U, B)`` / ``(P, U, 2)``.
+        """
+        h = features
+        g = Tensor(np.asarray(positions, dtype=float))
+        for layer in self.layers:
+            h, g = layer.forward_batch(h, g)
+
+        # Eqn. (30a) batched: z[p, u, b] = x_b^T W_3 g_{p,u}, identical
+        # per-element dot products to the sequential (B, U) formulation.
+        stops = Tensor(np.asarray(stop_positions, dtype=float))  # (B, 2)
+        z = g @ self.w3(stops).transpose()  # (P, U, 2) @ (2, B) -> (P, U, B)
+
+        z_summary = z.mean(axis=-1, keepdims=True)  # (P, U, 1)
         h_final = self.phi_u(Tensor.concat([h, z_summary], axis=-1)).tanh()
         return h_final, z, g

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["compute_gae"]
+__all__ = ["compute_gae", "compute_gae_batch"]
 
 
 def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
@@ -42,4 +42,42 @@ def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
         gae = delta + gamma * lam * nonterminal * gae
         advantages[t] = gae
         next_value = values[t]
+    return advantages, advantages + values
+
+
+def compute_gae_batch(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
+                      gamma: float, lam: float) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized GAE over ``(K, T, ...)`` arrays (time on axis 1).
+
+    Every trailing axis (agents, UAVs) is an independent reward stream;
+    ``dones`` is either ``(K, T)`` — broadcast over the trailing axes, the
+    shared episode terminal — or the full shape of ``rewards`` for
+    per-stream terminals (UAV flight ends).  The recursion is element-wise
+    identical to :func:`compute_gae` per stream, just batched: one reverse
+    pass over T regardless of K.
+
+    All streams bootstrap with a terminal value of 0, which is exact here
+    because every episode (and every UAV flight segment) carries its own
+    terminal flag inside ``dones``.
+    """
+    rewards = np.asarray(rewards, dtype=float)
+    values = np.asarray(values, dtype=float)
+    dones = np.asarray(dones, dtype=bool)
+    if rewards.shape != values.shape:
+        raise ValueError("rewards and values must share a shape")
+    if dones.shape != rewards.shape[:dones.ndim]:
+        raise ValueError(f"dones shape {dones.shape} does not prefix {rewards.shape}")
+    # Broadcast (K, T) dones over trailing stream axes.
+    dones = dones.reshape(dones.shape + (1,) * (rewards.ndim - dones.ndim))
+
+    t_max = rewards.shape[1]
+    advantages = np.zeros_like(rewards)
+    gae = np.zeros_like(rewards[:, 0])
+    next_value = np.zeros_like(gae)
+    for t in reversed(range(t_max)):
+        nonterminal = 1.0 - dones[:, t].astype(float)
+        delta = rewards[:, t] + gamma * next_value * nonterminal - values[:, t]
+        gae = delta + gamma * lam * nonterminal * gae
+        advantages[:, t] = gae
+        next_value = values[:, t]
     return advantages, advantages + values

@@ -52,9 +52,14 @@ class GARLAgent:
 
     # ------------------------------------------------------------------
     def train(self, iterations: int, episodes_per_iteration: int = 1,
-              callback=None) -> list[TrainRecord]:
-        """Run the Algorithm-1 training loop for ``iterations`` rounds."""
-        return self.trainer.train(iterations, episodes_per_iteration, callback)
+              callback=None, num_envs: int = 1) -> list[TrainRecord]:
+        """Run the Algorithm-1 training loop for ``iterations`` rounds.
+
+        ``num_envs > 1`` collects each iteration's episodes from that
+        many lock-stepped env replicas with batched policy forwards.
+        """
+        return self.trainer.train(iterations, episodes_per_iteration, callback,
+                                  num_envs=num_envs)
 
     def evaluate(self, episodes: int = 1, greedy: bool = True) -> MetricSnapshot:
         """Greedy evaluation; returns averaged metric snapshot."""

@@ -17,11 +17,22 @@ import numpy as np
 
 from ..env.airground import AirGroundEnv
 from ..env.metrics import MetricSnapshot
+from ..env.vector import VecAirGroundEnv
 from ..nn import Adam, Categorical, Tensor, annotate, clip_grad_norm, detect_anomaly, no_grad
-from .buffer import UAVRollout, UAVSample, UGVRollout, UGVSample
+from .buffer import (
+    UAVFlatBatch,
+    UAVRollout,
+    UAVSample,
+    UGVFlatBatch,
+    UGVRollout,
+    UGVSample,
+    VecUAVRollout,
+    VecUGVRollout,
+)
 from .config import PPOConfig
+from .policies import forward_policy_batched
 
-__all__ = ["IPPOTrainer", "TrainRecord", "run_episode"]
+__all__ = ["IPPOTrainer", "TrainRecord", "run_episode", "run_vec_episodes"]
 
 
 @dataclass
@@ -105,6 +116,68 @@ def run_episode(env: AirGroundEnv, ugv_policy, uav_policy,
     return env.metrics()
 
 
+def run_vec_episodes(venv: VecAirGroundEnv, ugv_policy, uav_policy,
+                     rng: np.random.Generator, episodes: int = 1,
+                     ugv_rollout: VecUGVRollout | None = None,
+                     uav_rollout: VecUAVRollout | None = None,
+                     greedy: bool = False) -> MetricSnapshot:
+    """Roll ``episodes`` full episodes on every replica simultaneously.
+
+    Episodes are fixed-horizon, so all replicas share boundaries and the
+    collect window is exactly ``episodes * episode_len`` steps; the final
+    step suppresses auto-reset so each replica performs precisely
+    ``episodes`` resets — at K=1 this draws the same rng stream as
+    ``episodes`` sequential :func:`run_episode` calls, sample for sample.
+
+    Returns the mean final-episode metrics across all replica episodes.
+    """
+    cfg = venv.config
+    num_envs = venv.num_envs
+    total = episodes * cfg.episode_len
+    final_snaps: list[MetricSnapshot] = []
+    res = venv.reset()
+    for step in range(total):
+        last = step == total - 1
+        actionable = res.ugv_actionable
+        prev_ugv_obs = res.ugv_obs
+        prev_uav_obs = res.uav_obs
+
+        with no_grad():
+            out = forward_policy_batched(ugv_policy, res.ugv_obs)
+            dist = out.distribution
+            actions = dist.mode() if greedy else dist.sample(rng)  # (K, U)
+            log_probs = dist.log_prob(actions).numpy()
+            values = out.values.numpy()
+
+        # One CNN forward for every airborne UAV across all replicas.
+        raw = np.zeros((num_envs, cfg.num_uavs, 2))
+        uav_logp = np.zeros((num_envs, cfg.num_uavs))
+        uav_values = np.zeros((num_envs, cfg.num_uavs))
+        ks, vs = np.nonzero(prev_uav_obs.airborne)
+        if len(ks):
+            with no_grad():
+                gdist, gvalues = uav_policy.forward_arrays(
+                    prev_uav_obs.grid[ks, vs], prev_uav_obs.aux[ks, vs])
+                sampled = gdist.mode() if greedy else gdist.sample(rng)
+                logps = gdist.log_prob(sampled).numpy()
+            raw[ks, vs] = sampled
+            uav_logp[ks, vs] = logps
+            uav_values[ks, vs] = gvalues.numpy()
+
+        res = venv.step(actions, raw * cfg.uav_max_step,
+                        reset_on_done=not last)
+        for k in np.nonzero(res.dones)[0]:
+            final_snaps.append(res.infos[k]["final_metrics"])
+
+        if ugv_rollout is not None:
+            ugv_rollout.add(prev_ugv_obs, actions, log_probs, values,
+                            res.ugv_rewards, actionable, res.dones)
+        if uav_rollout is not None:
+            uav_rollout.add(prev_uav_obs, raw, uav_logp, uav_values,
+                            res.uav_rewards, res.uav_obs.airborne, res.dones)
+    return MetricSnapshot.mean(final_snaps)
+
+
 class IPPOTrainer:
     """Collect-then-update IPPO driver shared by GARL and all baselines."""
 
@@ -128,6 +201,7 @@ class IPPOTrainer:
         self.lr_schedule = lr_schedule
         self.entropy_schedule = entropy_schedule
         self._entropy_coef = self.ppo.entropy_coef
+        self._venv: VecAirGroundEnv | None = None
 
     # ------------------------------------------------------------------
     def collect(self, episodes: int = 1) -> tuple[list[UGVSample], list[UAVSample], MetricSnapshot, float, float]:
@@ -138,7 +212,7 @@ class IPPOTrainer:
         last_metrics: MetricSnapshot | None = None
         total_ugv_reward = 0.0
         total_uav_reward = 0.0
-        for _ in range(episodes):
+        for episode in range(episodes):
             ugv_roll = UGVRollout(cfg.num_ugvs)
             uav_roll = UAVRollout(cfg.num_uavs)
             last_metrics = run_episode(self.env, self.ugv_policy, self.uav_policy,
@@ -147,11 +221,49 @@ class IPPOTrainer:
             total_ugv_reward += float(np.sum(ugv_roll.rewards))
             uav_samples_ep = uav_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda)
             total_uav_reward += float(sum(s.ret for s in uav_samples_ep if s.ret))
-            ugv_samples.extend(ugv_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda))
+            ugv_samples.extend(ugv_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda,
+                                                      episode=episode))
             uav_samples.extend(uav_samples_ep)
         if last_metrics is None:
             raise RuntimeError("collect() requires at least one episode")
         return ugv_samples, uav_samples, last_metrics, total_ugv_reward, total_uav_reward
+
+    # ------------------------------------------------------------------
+    def supports_vectorized(self) -> bool:
+        """Whether both policies can run the vectorized collect path.
+
+        Stateful UGV policies (IC3Net's recurrent core) advance episode
+        state between steps and cannot be replica-interleaved; UAV
+        policies must expose the array forward.
+        """
+        return (getattr(self.ugv_policy, "supports_vectorized", True)
+                and getattr(self.ugv_policy, "begin_episode", None) is None
+                and hasattr(self.uav_policy, "forward_arrays"))
+
+    def _get_venv(self, num_envs: int) -> VecAirGroundEnv:
+        if self._venv is None or self._venv.num_envs != num_envs:
+            self._venv = VecAirGroundEnv.from_env(self.env, num_envs)
+        return self._venv
+
+    def collect_vec(self, episodes: int, num_envs: int) -> tuple[
+            VecUGVRollout, VecUAVRollout, MetricSnapshot, float, float]:
+        """Vectorized counterpart of :meth:`collect` over K replicas.
+
+        Reward telemetry is the total across *all* replicas (K times the
+        sequential per-iteration volume).
+        """
+        cfg = self.env.config
+        venv = self._get_venv(num_envs)
+        horizon = episodes * cfg.episode_len
+        ugv_roll = VecUGVRollout(num_envs, horizon, cfg.num_ugvs, self.env.num_stops)
+        uav_roll = VecUAVRollout(num_envs, horizon, cfg.num_uavs, cfg.uav_obs_size)
+        metrics = run_vec_episodes(venv, self.ugv_policy, self.uav_policy,
+                                   self.rng, episodes=episodes,
+                                   ugv_rollout=ugv_roll, uav_rollout=uav_roll)
+        total_ugv_reward = float(ugv_roll.rewards.sum())
+        uav_flat = uav_roll.flat_samples(self.ppo.gamma, self.ppo.gae_lambda)
+        total_uav_reward = float(uav_flat.returns.sum())
+        return ugv_roll, uav_roll, metrics, total_ugv_reward, total_uav_reward
 
     # ------------------------------------------------------------------
     def _sanitize(self):
@@ -189,9 +301,13 @@ class IPPOTrainer:
                             norm_adv: np.ndarray) -> tuple[Tensor, float, float]:
         """Forward each distinct timestep once; gather per-sample terms."""
         ppo = self.ppo
-        groups: dict[int, list[int]] = {}
+        # Group by explicit (episode, t) identity — every agent sample of
+        # one timestep shares a single joint forward.  (Grouping by the
+        # observation list's id() would silently degrade to per-sample
+        # forwards if a caller ever rebuilt the lists.)
+        groups: dict[tuple[int, int], list[int]] = {}
         for i in batch_idx:
-            groups.setdefault(id(samples[i].joint_observations), []).append(int(i))
+            groups.setdefault((samples[i].episode, samples[i].t), []).append(int(i))
 
         log_ratios, entropies, values, old_values = [], [], [], []
         adv_list, ret_list, old_logp = [], [], []
@@ -247,6 +363,126 @@ class IPPOTrainer:
         return total, float(policy_loss.item()), float(value_loss.item())
 
     # ------------------------------------------------------------------
+    def update_ugv_vec(self, rollout: VecUGVRollout) -> dict[str, float]:
+        """Clipped PPO update from an array-backed vectorized rollout."""
+        ppo = self.ppo
+        flat = rollout.flat_samples(ppo.gamma, ppo.gae_lambda)
+        if len(flat) == 0:
+            return {"ugv_policy_loss": 0.0, "ugv_value_loss": 0.0}
+        advantages = flat.advantages
+        norm_adv = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        policy_losses, value_losses = [], []
+        order = np.arange(len(flat))
+        for _ in range(ppo.epochs):
+            self.rng.shuffle(order)
+            for start in range(0, len(order), ppo.minibatch_size):
+                batch_idx = order[start:start + ppo.minibatch_size]
+                with self._sanitize():
+                    loss, pl, vl = self._ugv_minibatch_loss_vec(flat, batch_idx, norm_adv)
+                    self.ugv_optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self.ugv_optimizer.params, ppo.max_grad_norm)
+                    self.ugv_optimizer.step()
+                policy_losses.append(pl)
+                value_losses.append(vl)
+        return {"ugv_policy_loss": float(np.mean(policy_losses)),
+                "ugv_value_loss": float(np.mean(value_losses))}
+
+    def _ugv_minibatch_loss_vec(self, flat: UGVFlatBatch, batch_idx: np.ndarray,
+                                norm_adv: np.ndarray) -> tuple[Tensor, float, float]:
+        """One batched forward over the minibatch's unique (env, t) pairs.
+
+        The whole minibatch's distinct timesteps stack into a single
+        policy forward; per-sample (agent) rows are then gathered out of
+        the batched logits/values — same math as the sequential
+        per-group loop, minus the Python-level iteration.
+        """
+        ppo = self.ppo
+        env_b = flat.env[batch_idx]
+        t_b = flat.t[batch_idx]
+        agent_b = flat.agent[batch_idx]
+        keys = env_b * flat.horizon + t_b
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        obs = flat.obs.index((uniq // flat.horizon, uniq % flat.horizon))
+        out = forward_policy_batched(self.ugv_policy, obs)
+
+        selected_logits = out.logits[inverse, agent_b]  # (M, B+1)
+        sub_dist = Categorical(selected_logits)
+        logp = sub_dist.log_prob(flat.actions[batch_idx])
+        entropy = sub_dist.entropy()
+        value = out.values[inverse, agent_b]
+
+        old_logp = flat.log_probs[batch_idx]
+        old_value = flat.values[batch_idx]
+        adv = norm_adv[batch_idx]
+        ret = flat.returns[batch_idx]
+
+        ratio = (logp - Tensor(old_logp)).exp()
+        surr1 = ratio * Tensor(adv)
+        surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * Tensor(adv)
+        policy_loss = -Tensor.minimum(surr1, surr2).mean()
+
+        v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
+            -ppo.value_clip, ppo.value_clip)
+        loss_unclipped = (value - Tensor(ret)) ** 2
+        loss_clipped = (v_clipped - Tensor(ret)) ** 2
+        value_loss = Tensor.maximum(loss_unclipped, loss_clipped).mean()
+
+        total = (policy_loss + ppo.value_coef * value_loss
+                 - self._entropy_coef * entropy.mean())
+        aux_fn = getattr(self.ugv_policy, "auxiliary_loss", None)
+        if aux_fn is not None:
+            aux_losses = [aux_fn(obs.observations(p)) for p in range(len(uniq))]
+            total = total + Tensor.stack(aux_losses, axis=0).mean()
+        annotate(total, "ippo.ugv_loss")
+        return total, float(policy_loss.item()), float(value_loss.item())
+
+    def update_uav_vec(self, rollout: VecUAVRollout) -> dict[str, float]:
+        """Clipped PPO update for the UAV policy from flat array batches."""
+        ppo = self.ppo
+        flat = rollout.flat_samples(ppo.gamma, ppo.gae_lambda)
+        if len(flat) == 0:
+            return {"uav_policy_loss": 0.0, "uav_value_loss": 0.0}
+        norm_adv = (flat.advantages - flat.advantages.mean()) / (flat.advantages.std() + 1e-8)
+
+        policy_losses, value_losses = [], []
+        order = np.arange(len(flat))
+        for _ in range(ppo.epochs):
+            self.rng.shuffle(order)
+            for start in range(0, len(order), ppo.minibatch_size):
+                idxs = order[start:start + ppo.minibatch_size]
+                with self._sanitize():
+                    dist, value = self.uav_policy.forward_arrays(
+                        flat.grids[idxs], flat.aux[idxs])
+                    logp = dist.log_prob(flat.actions[idxs])
+                    ratio = (logp - Tensor(flat.log_probs[idxs])).exp()
+                    adv = Tensor(norm_adv[idxs])
+                    surr1 = ratio * adv
+                    surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv
+                    policy_loss = -Tensor.minimum(surr1, surr2).mean()
+
+                    ret = flat.returns[idxs]
+                    old_value = flat.values[idxs]
+                    v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
+                        -ppo.value_clip, ppo.value_clip)
+                    value_loss = Tensor.maximum((value - Tensor(ret)) ** 2,
+                                                (v_clipped - Tensor(ret)) ** 2).mean()
+                    entropy = dist.entropy().mean()
+
+                    total = (policy_loss + ppo.value_coef * value_loss
+                             - self._entropy_coef * entropy)
+                    annotate(total, "ippo.uav_loss")
+                    self.uav_optimizer.zero_grad()
+                    total.backward()
+                    clip_grad_norm(self.uav_optimizer.params, ppo.max_grad_norm)
+                    self.uav_optimizer.step()
+                policy_losses.append(float(policy_loss.item()))
+                value_losses.append(float(value_loss.item()))
+        return {"uav_policy_loss": float(np.mean(policy_losses)),
+                "uav_value_loss": float(np.mean(value_losses))}
+
+    # ------------------------------------------------------------------
     def update_uav(self, samples: list[UAVSample]) -> dict[str, float]:
         """Clipped PPO update for the (shared) UAV policy."""
         if not samples:
@@ -294,8 +530,17 @@ class IPPOTrainer:
 
     # ------------------------------------------------------------------
     def train(self, iterations: int, episodes_per_iteration: int = 1,
-              callback=None) -> list[TrainRecord]:
-        """Run M training iterations (Algorithm 1's outer loop)."""
+              callback=None, num_envs: int = 1) -> list[TrainRecord]:
+        """Run M training iterations (Algorithm 1's outer loop).
+
+        With ``num_envs > 1`` (and vectorization-capable policies,
+        :meth:`supports_vectorized`) collection runs K env replicas in
+        lock-step with batched policy forwards and array-backed rollouts;
+        each iteration then gathers ``num_envs * episodes_per_iteration``
+        episodes.  Stateful policies silently fall back to the sequential
+        path.
+        """
+        use_vec = num_envs > 1 and self.supports_vectorized()
         for iteration in range(iterations):
             progress = iteration / max(1, iterations - 1)
             if self.lr_schedule is not None:
@@ -304,10 +549,17 @@ class IPPOTrainer:
                 self.uav_optimizer.lr = lr
             if self.entropy_schedule is not None:
                 self._entropy_coef = float(self.entropy_schedule(progress))
-            ugv_samples, uav_samples, metrics, ugv_r, uav_r = self.collect(episodes_per_iteration)
             losses = {}
-            losses.update(self.update_ugv(ugv_samples))
-            losses.update(self.update_uav(uav_samples))
+            if use_vec:
+                ugv_roll, uav_roll, metrics, ugv_r, uav_r = self.collect_vec(
+                    episodes_per_iteration, num_envs)
+                losses.update(self.update_ugv_vec(ugv_roll))
+                losses.update(self.update_uav_vec(uav_roll))
+            else:
+                ugv_samples, uav_samples, metrics, ugv_r, uav_r = self.collect(
+                    episodes_per_iteration)
+                losses.update(self.update_ugv(ugv_samples))
+                losses.update(self.update_uav(uav_samples))
             for policy in (self.ugv_policy, self.uav_policy):
                 post = getattr(policy, "post_update", None)
                 if post is not None:

@@ -134,3 +134,70 @@ class MCGCN(Module):
         pooled_own = h[int(own_stop)]
         readout = self.readout(Tensor.concat([pooled_mean, pooled_own], axis=0))
         return h, readout.tanh()
+
+    # ------------------------------------------------------------------
+    def _attention_batch(self, h: Tensor, layer_idx: int, rows: np.ndarray,
+                         own_stops: np.ndarray, other_stops: np.ndarray,
+                         structural: np.ndarray) -> Tensor:
+        """Eqn. (21) for a stacked batch of centres; h is (N, B, F).
+
+        Mirrors :meth:`_attention` op-for-op: per-centre bilinear scores
+        against the own stop, minus the mean against the other centres.
+        """
+        w1 = self.attn_weights[layer_idx]
+        hw = h @ w1  # (N, B, F)
+        own_vec = h[rows, own_stops]  # (N, F)
+        f_own = (hw @ own_vec.expand_dims(-1)).squeeze(-1)  # (N, B)
+        if other_stops.shape[1]:
+            other_vecs = h[rows[:, None], other_stops]  # (N, M, F)
+            f_others = hw @ other_vecs.swapaxes(-1, -2)  # (N, B, M)
+            node_feature = f_own - f_others.mean(axis=-1)
+        else:
+            node_feature = f_own
+        combined = Tensor(structural) * node_feature
+        return annotate(combined.softmax(axis=-1), "MCGCN.attention")
+
+    def forward_batch(self, stop_features: np.ndarray, own_stops: np.ndarray,
+                      other_stops: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Run the multi-center GCN for N stacked (replica, agent) centres.
+
+        Parameters
+        ----------
+        stop_features:
+            ``(N, B, 3)`` masked stop tensors, one per centre.
+        own_stops:
+            ``(N,)`` current stop of each centre.
+        other_stops:
+            ``(N, M)`` stops of the other UGVs per centre (``M = U - 1``;
+            a second axis of width 0 means no negative centres).
+
+        Returns ``(H, h̃)`` with shapes ``(N, B, hidden)`` / ``(N, hidden)``.
+        """
+        own_stops = np.asarray(own_stops, dtype=int)
+        other_stops = np.asarray(other_stops, dtype=int)
+        if other_stops.ndim != 2:
+            raise ValueError(f"other_stops must be (N, M), got {other_stops.shape}")
+        n = own_stops.shape[0]
+        rows = np.arange(n)
+        h = Tensor(np.asarray(stop_features, dtype=float))
+        use_mc = self.config.use_mc_gcn
+        if use_mc:
+            structural = self.correlation[own_stops]  # (N, B)
+            if other_stops.shape[1]:
+                structural = structural - self.correlation[other_stops].mean(axis=1)
+        else:
+            structural = None
+
+        for idx, layer in enumerate(self.gcn_layers):
+            if use_mc:
+                attention = self._attention_batch(h, idx, rows, own_stops,
+                                                 other_stops, structural)
+                propagated = layer(h, self.laplacian)
+                h = attention.expand_dims(-1) * propagated
+            else:
+                h = layer(h, self.laplacian)
+
+        pooled_mean = h.mean(axis=1)  # (N, hidden)
+        pooled_own = h[rows, own_stops]  # (N, hidden)
+        readout = self.readout(Tensor.concat([pooled_mean, pooled_own], axis=-1))
+        return h, readout.tanh()

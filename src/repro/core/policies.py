@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..env.observation import UAVObservation, UGVObservation
+from ..env.observation import UAVObservation, UGVObsArrays, UGVObservation
 from ..maps.stop_graph import StopGraph
 from ..nn import (
     MLP,
@@ -28,7 +28,8 @@ from .config import GARLConfig
 from .ecomm import EComm
 from .mc_gcn import MCGCN
 
-__all__ = ["UGVPolicy", "UAVPolicy", "UGVPolicyOutput", "bias_release_head"]
+__all__ = ["UGVPolicy", "UAVPolicy", "UGVPolicyOutput", "bias_release_head",
+           "forward_policy_batched"]
 
 # Initial bias on the release logit.  With one release action among B+1
 # mostly-uniform choices, an unbiased init almost never flies the UAVs,
@@ -124,6 +125,62 @@ class UGVPolicy(Module):
         values = self.value_head(h_final).squeeze(-1)
         return UGVPolicyOutput(logits, values)
 
+    def forward_batched(self, obs: UGVObsArrays) -> UGVPolicyOutput:
+        """Joint forward for P stacked replicas in one pass.
+
+        The (P, U) centres fold into a single ``N = P * U`` MC-GCN batch;
+        E-Comm then communicates within each replica's coalition along a
+        broadcast replica axis.  Returns logits ``(P, U, B + 1)`` and
+        values ``(P, U)`` — at P = 1 numerically equivalent to
+        :meth:`forward` on the corresponding observation list.
+        """
+        num_replicas, num_agents = obs.ugv_stops.shape
+        num_stops = obs.num_stops
+        own = obs.ugv_stops.reshape(-1)  # (N,)
+        # Static (U, U-1) index of "the other agents" per agent, applied
+        # replica-wise to gather the negative-centre stops.
+        other_idx = np.array([[j for j in range(num_agents) if j != u]
+                              for u in range(num_agents)], dtype=int).reshape(num_agents, -1)
+        others = obs.ugv_stops[:, other_idx].reshape(num_replicas * num_agents, -1)
+
+        features = obs.stop_features.reshape(-1, num_stops, obs.stop_features.shape[-1])
+        nodes, pooled = self.mc_gcn.forward_batch(features, own, others)
+        h_stack = pooled.reshape(num_replicas, num_agents, -1)  # (P, U, D)
+
+        if self.ecomm is not None and num_agents >= 1:
+            positions = self.stops.positions[obs.ugv_stops] / self._extent  # (P, U, 2)
+            h_final, z, _ = self.ecomm.forward_batch(h_stack, positions,
+                                                     self._norm_stop_positions)
+        else:
+            h_final, z = h_stack, None
+
+        stop_scores = self.node_head(nodes).squeeze(-1)  # (N, B)
+        stop_scores = stop_scores.reshape(num_replicas, num_agents, num_stops)
+        if z is not None:
+            stop_scores = stop_scores + self.z_scale * z
+        release = self.release_head(h_final)  # (P, U, 1)
+        rows = Tensor.concat([stop_scores, release], axis=-1)  # (P, U, B+1)
+        logits = rows + Tensor(np.where(obs.action_mask, 0.0, -1e9))
+        values = self.value_head(h_final).squeeze(-1)  # (P, U)
+        return UGVPolicyOutput(logits, values)
+
+
+def forward_policy_batched(policy, obs: UGVObsArrays) -> UGVPolicyOutput:
+    """Forward a UGV policy over stacked replica observations.
+
+    Uses the policy's native ``forward_batched`` when it defines one;
+    otherwise falls back to one sequential forward per replica and stacks
+    the outputs.  The fallback keeps every policy (baselines included)
+    usable behind the vectorized pipeline at unbatched speed.
+    """
+    batched = getattr(policy, "forward_batched", None)
+    if batched is not None:
+        return batched(obs)
+    outputs = [policy(obs.observations(p)) for p in range(obs.lead_shape[0])]
+    logits = Tensor.stack([out.logits for out in outputs], axis=0)
+    values = Tensor.stack([out.values for out in outputs], axis=0)
+    return UGVPolicyOutput(logits, values)
+
 
 class UAVPolicy(Module):
     """CNN actor-critic for UAV movement (Eqn. 17).
@@ -159,6 +216,15 @@ class UAVPolicy(Module):
         """Batched forward over airborne UAVs."""
         grids = np.stack([o.grid for o in observations])
         aux = np.stack([o.aux for o in observations])
+        return self.forward_arrays(grids, aux)
+
+    def forward_arrays(self, grids: np.ndarray, aux: np.ndarray) -> tuple[DiagGaussian, Tensor]:
+        """Forward directly from ``(N, 3, S, S)`` / ``(N, aux)`` arrays.
+
+        The vectorized pipeline gathers every airborne UAV across all
+        replicas into one such batch, so the whole fleet shares a single
+        CNN forward per step.
+        """
         feats = self.features(grids, aux)
         mean = self.mean_head(feats).tanh()
         values = self.value_head(feats).squeeze(-1)

@@ -12,11 +12,21 @@ from .metrics import (
     energy_ratio,
     jain_fairness,
 )
-from .observation import ObservationBuilder, UAVObservation, UGVObservation
+from .observation import (
+    ObservationBuilder,
+    UAVObsArrays,
+    UAVObservation,
+    UGVObsArrays,
+    UGVObservation,
+)
+from .vector import VecAirGroundEnv, VecStepResult, replica_seed
 
 __all__ = [
     "AirGroundEnv",
     "StepResult",
+    "VecAirGroundEnv",
+    "VecStepResult",
+    "replica_seed",
     "EnvConfig",
     "Sensor",
     "UGV",
@@ -32,4 +42,6 @@ __all__ = [
     "ObservationBuilder",
     "UGVObservation",
     "UAVObservation",
+    "UGVObsArrays",
+    "UAVObsArrays",
 ]

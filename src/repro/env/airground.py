@@ -51,11 +51,15 @@ class AirGroundEnv:
 
     def __init__(self, campus: CampusMap, config: EnvConfig | None = None,
                  stops: StopGraph | None = None, seed: int = 0,
-                 data_weights: np.ndarray | None = None):
+                 data_weights: np.ndarray | None = None,
+                 builder: ObservationBuilder | None = None):
         self.campus = campus
         self.config = config or EnvConfig()
         self.stops = stops or build_stop_graph(campus, self.config.stop_interval)
-        self.builder = ObservationBuilder(campus, self.stops, self.config)
+        # Replicas of a VecAirGroundEnv share one builder (it is stateless
+        # apart from precomputed rasters/coverage, which depend only on the
+        # campus/stops/config triple).
+        self.builder = builder or ObservationBuilder(campus, self.stops, self.config)
         self._seed = seed
         self.rng = np.random.default_rng(seed)
         # Optional per-sensor multipliers on the drawn d_0 (scenario
@@ -108,6 +112,25 @@ class AirGroundEnv:
     # ------------------------------------------------------------------
     def reset(self, seed: int | None = None) -> StepResult:
         """Start a fresh episode; sensors draw d_0 ~ U[min, max] GB."""
+        self.reset_state(seed)
+        cfg = self.config
+        return StepResult(
+            ugv_observations=self._ugv_observations(),
+            uav_observations=self._uav_observations(),
+            ugv_rewards=np.zeros(cfg.num_ugvs),
+            uav_rewards=np.zeros(cfg.num_uavs),
+            ugv_actionable=self._actionable(),
+            done=False,
+            info={"metrics": self.metrics().as_dict(), "t": self.t},
+        )
+
+    def reset_state(self, seed: int | None = None) -> None:
+        """Reset the simulation state without building observations.
+
+        Called without a seed the current rng stream continues — exactly
+        what a fresh :meth:`reset` does mid-training, which is what keeps
+        vec-env auto-resets equivalent to sequential multi-episode runs.
+        """
         if seed is not None:
             self._seed = seed
             self.rng = np.random.default_rng(seed)
@@ -139,16 +162,6 @@ class AirGroundEnv:
         self._refresh_knowledge()
         self._emit("reset", -1)
 
-        return StepResult(
-            ugv_observations=self._ugv_observations(),
-            uav_observations=self._uav_observations(),
-            ugv_rewards=np.zeros(cfg.num_ugvs),
-            uav_rewards=np.zeros(cfg.num_uavs),
-            ugv_actionable=np.array([not g.is_waiting for g in self.ugvs]),
-            done=False,
-            info={"metrics": self.metrics().as_dict(), "t": self.t},
-        )
-
     # ------------------------------------------------------------------
     def step(self, ugv_actions, uav_actions) -> StepResult:
         """Advance one timeslot.
@@ -160,6 +173,26 @@ class AirGroundEnv:
         uav_actions:
             Sequence of ``V`` items; airborne UAVs read a 2-vector
             movement (metres), docked UAVs may pass ``None``.
+        """
+        ugv_rewards, uav_rewards, done, collected = self.step_dynamics(
+            ugv_actions, uav_actions)
+        return StepResult(
+            ugv_observations=self._ugv_observations(),
+            uav_observations=self._uav_observations(),
+            ugv_rewards=ugv_rewards,
+            uav_rewards=uav_rewards,
+            ugv_actionable=self._actionable(),
+            done=done,
+            info={"metrics": self.metrics().as_dict(), "t": self.t,
+                  "collected_this_step": collected},
+        )
+
+    def step_dynamics(self, ugv_actions, uav_actions) -> tuple[np.ndarray, np.ndarray, bool, float]:
+        """Advance the simulation one timeslot without building observations.
+
+        Returns ``(ugv_rewards, uav_rewards, done, collected)``; the vec-env
+        hot path pairs this with the array observation encoders so no
+        per-agent dataclasses (or per-step metric dicts) are constructed.
         """
         cfg = self.config
         if self.t >= cfg.episode_len:
@@ -215,17 +248,7 @@ class AirGroundEnv:
         self._refresh_knowledge()
         self.t += 1
         done = self.t >= cfg.episode_len
-
-        return StepResult(
-            ugv_observations=self._ugv_observations(),
-            uav_observations=self._uav_observations(),
-            ugv_rewards=ugv_rewards,
-            uav_rewards=uav_rewards,
-            ugv_actionable=np.array([not g.is_waiting for g in self.ugvs]),
-            done=done,
-            info={"metrics": self.metrics().as_dict(), "t": self.t,
-                  "collected_this_step": float(collected.sum())},
-        )
+        return ugv_rewards, uav_rewards, done, float(collected.sum())
 
     # ------------------------------------------------------------------
     # Internal mechanics
@@ -324,6 +347,17 @@ class AirGroundEnv:
     # ------------------------------------------------------------------
     # Observations and metrics
     # ------------------------------------------------------------------
+    def _actionable(self) -> np.ndarray:
+        """Boolean (U,): which UGVs act next timeslot (not holding a release)."""
+        return np.array([not g.is_waiting for g in self.ugvs])
+
+    def encode_observations(self, ugv_out, uav_out, idx=()) -> None:
+        """Write current observations into array slots (see UGV/UAVObsArrays)."""
+        self.builder.encode_ugv_batch(self.ugvs, self._last_seen, self._seen_mask,
+                                      self._data_scale, ugv_out, idx)
+        self.builder.encode_uav_batch(self.uavs, self.ugvs, self.sensors,
+                                      self._sensor_scale, uav_out, idx)
+
     def _ugv_observations(self) -> list[UGVObservation]:
         return [
             self.builder.ugv_observation(u, self.ugvs, self._last_seen[u],

@@ -70,6 +70,20 @@ class MetricSnapshot:
     def efficiency(self) -> float:
         return efficiency(self.psi, self.xi, self.zeta, self.beta)
 
+    @classmethod
+    def mean(cls, snapshots) -> "MetricSnapshot":
+        """Batched reduction over replicas/episodes: the metric-wise mean.
+
+        Note the derived efficiency of the mean snapshot is computed from
+        the averaged ψ/ξ/ζ/β, not averaged itself (λ is a ratio).
+        """
+        snaps = list(snapshots)
+        if not snaps:
+            raise ValueError("MetricSnapshot.mean needs at least one snapshot")
+        stacked = np.array([[s.psi, s.xi, s.zeta, s.beta] for s in snaps])
+        psi, xi, zeta, beta = stacked.mean(axis=0)
+        return cls(float(psi), float(xi), float(zeta), float(beta))
+
     def as_dict(self) -> dict[str, float]:
         return {
             "psi": self.psi,

@@ -23,7 +23,8 @@ from ..maps.stop_graph import StopGraph
 from .config import EnvConfig
 from .entities import UAV, UGV, Sensor
 
-__all__ = ["UGVObservation", "UAVObservation", "ObservationBuilder"]
+__all__ = ["UGVObservation", "UAVObservation", "UGVObsArrays", "UAVObsArrays",
+           "ObservationBuilder"]
 
 
 @dataclass
@@ -57,6 +58,126 @@ class UAVObservation:
     @property
     def channels(self) -> int:
         return self.grid.shape[0]
+
+
+@dataclass
+class UGVObsArrays:
+    """Struct-of-arrays UGV observations for a batch of env replicas.
+
+    The leading axes are arbitrary (``(K,)`` for a vec-env step,
+    ``(K, T)`` inside a rollout buffer, ``(P,)`` for a PPO minibatch of
+    gathered timesteps); the trailing axes are fixed per field.
+    ``ugv_positions``/``ugv_stops`` are shared by all agents of a replica
+    and therefore stored once per replica, not once per agent.
+    """
+
+    stop_features: np.ndarray  # (..., U, B, 3)
+    ugv_positions: np.ndarray  # (..., U, 2) — position of every UGV
+    ugv_stops: np.ndarray  # (..., U) int64
+    action_mask: np.ndarray  # (..., U, B + 1) bool
+
+    @classmethod
+    def allocate(cls, lead_shape: tuple[int, ...], num_agents: int,
+                 num_stops: int) -> "UGVObsArrays":
+        lead = tuple(lead_shape)
+        return cls(
+            stop_features=np.zeros(lead + (num_agents, num_stops, 3)),
+            ugv_positions=np.zeros(lead + (num_agents, 2)),
+            ugv_stops=np.zeros(lead + (num_agents,), dtype=np.int64),
+            action_mask=np.zeros(lead + (num_agents, num_stops + 1), dtype=bool),
+        )
+
+    @classmethod
+    def from_observations(cls, obs_lists: "list[list[UGVObservation]]") -> "UGVObsArrays":
+        """Stack per-replica dataclass lists into arrays (inverse of view)."""
+        return cls(
+            stop_features=np.stack([[o.stop_features for o in obs] for obs in obs_lists]),
+            ugv_positions=np.stack([obs[0].ugv_positions for obs in obs_lists]),
+            ugv_stops=np.stack([obs[0].ugv_stops for obs in obs_lists]).astype(np.int64),
+            action_mask=np.stack([[o.action_mask for o in obs] for obs in obs_lists]),
+        )
+
+    @property
+    def num_agents(self) -> int:
+        return self.ugv_stops.shape[-1]
+
+    @property
+    def num_stops(self) -> int:
+        return self.stop_features.shape[-2]
+
+    @property
+    def lead_shape(self) -> tuple[int, ...]:
+        return self.ugv_stops.shape[:-1]
+
+    def index(self, idx) -> "UGVObsArrays":
+        """Fancy-index the leading axes (numpy semantics, e.g. a (P,) gather)."""
+        return UGVObsArrays(self.stop_features[idx], self.ugv_positions[idx],
+                            self.ugv_stops[idx], self.action_mask[idx])
+
+    def write(self, idx, src: "UGVObsArrays") -> None:
+        """Copy ``src`` into the slot(s) selected by ``idx``."""
+        self.stop_features[idx] = src.stop_features
+        self.ugv_positions[idx] = src.ugv_positions
+        self.ugv_stops[idx] = src.ugv_stops
+        self.action_mask[idx] = src.action_mask
+
+    def observations(self, *idx) -> list[UGVObservation]:
+        """Thin dataclass-view adapter for one replica slot.
+
+        ``idx`` must select away every leading axis, leaving the per-agent
+        arrays; existing list-based policies and tests consume the result
+        unchanged.
+        """
+        sf = self.stop_features[idx]
+        pos = self.ugv_positions[idx]
+        stops = self.ugv_stops[idx]
+        mask = self.action_mask[idx]
+        return [UGVObservation(u, sf[u], pos, stops, mask[u], int(stops[u]))
+                for u in range(stops.shape[0])]
+
+
+@dataclass
+class UAVObsArrays:
+    """Struct-of-arrays UAV observations; ``airborne`` gates validity.
+
+    Rows of docked UAVs hold stale/garbage data by design — every
+    consumer masks with ``airborne`` first, which keeps the hot path free
+    of per-step reallocation.
+    """
+
+    grid: np.ndarray  # (..., V, 3, S, S)
+    aux: np.ndarray  # (..., V, 5)
+    airborne: np.ndarray  # (..., V) bool
+
+    @classmethod
+    def allocate(cls, lead_shape: tuple[int, ...], num_uavs: int,
+                 obs_size: int, aux_dim: int = 5) -> "UAVObsArrays":
+        lead = tuple(lead_shape)
+        return cls(
+            grid=np.zeros(lead + (num_uavs, 3, obs_size, obs_size)),
+            aux=np.zeros(lead + (num_uavs, aux_dim)),
+            airborne=np.zeros(lead + (num_uavs,), dtype=bool),
+        )
+
+    @property
+    def num_uavs(self) -> int:
+        return self.airborne.shape[-1]
+
+    def index(self, idx) -> "UAVObsArrays":
+        return UAVObsArrays(self.grid[idx], self.aux[idx], self.airborne[idx])
+
+    def write(self, idx, src: "UAVObsArrays") -> None:
+        self.grid[idx] = src.grid
+        self.aux[idx] = src.aux
+        self.airborne[idx] = src.airborne
+
+    def observations(self, *idx) -> list[UAVObservation | None]:
+        """Dataclass-view adapter: None for docked UAVs, like the env."""
+        grid = self.grid[idx]
+        aux = self.aux[idx]
+        airborne = self.airborne[idx]
+        return [UAVObservation(v, grid[v], aux[v]) if airborne[v] else None
+                for v in range(airborne.shape[0])]
 
 
 class ObservationBuilder:
@@ -94,6 +215,11 @@ class ObservationBuilder:
         self.refresh = stop_gaps <= config.ugv_observe_radius  # (B, B)
 
         self._norm_positions = stops.positions / self._extent
+
+        # Obstacle raster padded by the crop radius: out-of-zone cells are
+        # obstacles, so a UAV crop becomes a pure slice of this array.
+        radius = config.uav_obs_radius
+        self._padded_obstacles = np.pad(self.obstacles, radius, constant_values=1.0)
 
     # ------------------------------------------------------------------
     def _rasterize_buildings(self) -> np.ndarray:
@@ -141,6 +267,32 @@ class ObservationBuilder:
         mask[ugvs[agent].stop] = True  # staying put is always allowed
         mask[b] = True  # releasing is always allowed when the UGV acts
         return UGVObservation(agent, features, positions, stops, mask, ugvs[agent].stop)
+
+    def encode_ugv_batch(self, ugvs: list[UGV], last_seen: np.ndarray,
+                         seen_mask: np.ndarray, data_scale: float,
+                         out: UGVObsArrays, idx=()) -> None:
+        """Array-encoder equivalent of :meth:`ugv_observation` for all agents.
+
+        Writes one replica's joint observation into ``out``'s slot ``idx``
+        without constructing dataclasses; the values are bitwise-identical
+        to the per-agent path (pinned by a unit test).
+        """
+        cfg = self.config
+        b = self.stops.num_stops
+        u = len(ugvs)
+        features = out.stop_features[idx]  # (U, B, 3) view
+        features[:, :, :2] = self._norm_positions
+        features[:, :, 2] = np.where(seen_mask, last_seen / data_scale, cfg.mask_constant)
+
+        positions = np.array([g.position for g in ugvs])
+        out.ugv_positions[idx] = positions / self._extent
+        stops = np.fromiter((g.stop for g in ugvs), dtype=np.int64, count=u)
+        out.ugv_stops[idx] = stops
+
+        mask = out.action_mask[idx]  # (U, B + 1) view
+        mask[:, :b] = self.reachable[stops]
+        mask[np.arange(u), stops] = True
+        mask[:, b] = True
 
     # ------------------------------------------------------------------
     def global_rasters(self, sensors: list[Sensor], uavs: list[UAV],
@@ -193,3 +345,47 @@ class ObservationBuilder:
             carrier_gap / max(self.campus.width, self.campus.height),
         ])
         return UAVObservation(uav.index, grid, aux)
+
+    def encode_uav_batch(self, uavs: list[UAV], ugvs: list[UGV],
+                         sensors: list[Sensor], sensor_scale: float,
+                         out: UAVObsArrays, idx=()) -> None:
+        """Array-encoder equivalent of :meth:`uav_observation` for all UAVs.
+
+        Docked UAVs only get their ``airborne`` flag cleared; their grid and
+        aux rows are left stale (consumers mask on ``airborne``).  Crops are
+        pure slices of radius-padded rasters, so the egocentric window never
+        needs per-UAV bounds arithmetic.
+        """
+        cfg = self.config
+        cell = cfg.uav_obs_cell
+        radius = cfg.uav_obs_radius
+        size = cfg.uav_obs_size
+        airborne = np.fromiter((v.airborne for v in uavs), dtype=bool, count=len(uavs))
+        out.airborne[idx] = airborne
+        if not airborne.any():
+            return
+
+        data, presence = self.global_rasters(sensors, uavs, sensor_scale)
+        padded_data = np.pad(data, radius)
+        padded_presence = np.pad(presence, radius)
+        grid = out.grid[idx]  # (V, 3, S, S) view
+        aux = out.aux[idx]  # (V, 5) view
+        extent = max(self.campus.width, self.campus.height)
+        for v in np.nonzero(airborne)[0]:
+            uav = uavs[v]
+            carrier = ugvs[uav.carrier]
+            cx = int(np.clip(uav.position[0] // cell, 0, self.grid_w - 1))
+            cy = int(np.clip(uav.position[1] // cell, 0, self.grid_h - 1))
+            # Padded rasters shift indices by +radius, so the crop origin
+            # in padded coordinates is exactly (cy, cx).
+            grid[v, 0] = self._padded_obstacles[cy:cy + size, cx:cx + size]
+            grid[v, 1] = padded_data[cy:cy + size, cx:cx + size]
+            grid[v, 2] = padded_presence[cy:cy + size, cx:cx + size]
+            centre = grid[v, 2, radius, radius]
+            grid[v, 2, radius, radius] = max(0.0, centre - 1.0)  # remove self
+            carrier_gap = float(np.linalg.norm(uav.position - carrier.position))
+            aux[v, 0] = uav.position[0] / self.campus.width
+            aux[v, 1] = uav.position[1] / self.campus.height
+            aux[v, 2] = uav.energy / uav.max_energy
+            aux[v, 3] = carrier.wait_timer / max(cfg.release_duration, 1)
+            aux[v, 4] = carrier_gap / extent

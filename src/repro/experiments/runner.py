@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 import time
 import zlib
 
@@ -10,12 +11,14 @@ import numpy as np
 from ..baselines.registry import make_agent
 from ..core.config import GARLConfig
 from ..env.airground import AirGroundEnv
+from ..env.vector import replica_seed
 from ..maps.campus import CampusMap, build_campus
 from ..maps.stop_graph import StopGraph, build_stop_graph
 from .presets import ScalePreset, get_preset
 from .records import ResultRecord
 
-__all__ = ["run_method", "build_env", "campus_cache_clear", "get_campus"]
+__all__ = ["run_method", "build_env", "campus_cache_clear", "get_campus",
+           "method_seed", "replica_seed"]
 
 # Campus construction is deterministic but not free; cache per (name, scale).
 _CAMPUS_CACHE: dict[tuple[str, float], tuple[CampusMap, StopGraph]] = {}
@@ -36,7 +39,12 @@ def campus_cache_clear() -> None:
 
 def method_seed(method: str, seed: int) -> int:
     """Derive a per-method seed so undertrained (near-uniform) policies do
-    not share identical sampling streams and collapse to one trajectory."""
+    not share identical sampling streams and collapse to one trajectory.
+
+    Vectorized collection derives env-replica seeds from this value via
+    :func:`repro.env.replica_seed` — the per-method offsets live in
+    ``[0, 1000)`` while replicas stride by a large prime, so no two
+    (method, replica) pairs collide."""
     return seed + (zlib.crc32(method.encode()) % 1000)
 
 
@@ -50,12 +58,17 @@ def build_env(campus_name: str, preset: ScalePreset, num_ugvs: int,
 def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke",
                num_ugvs: int = 4, num_uavs_per_ugv: int = 2, seed: int = 0,
                garl_config: GARLConfig | None = None,
-               train_iterations: int | None = None) -> ResultRecord:
+               train_iterations: int | None = None,
+               num_envs: int = 1) -> ResultRecord:
     """Train ``method`` on ``campus_name`` at ``preset`` scale and evaluate.
 
     Evaluation samples stochastically (greedy=False): at smoke training
     budgets the stochastic policy is the better-behaved estimator, and it
     is how the paper's own evaluation episodes are rolled.
+
+    ``num_envs > 1`` collects training episodes from that many env
+    replicas at once (replica k reseeds with ``replica_seed(method_seed,
+    k)``); agents without vectorization support train sequentially.
     """
     preset_obj = get_preset(preset) if isinstance(preset, str) else preset
     env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
@@ -64,8 +77,11 @@ def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke
 
     iterations = (train_iterations if train_iterations is not None
                   else preset_obj.train_iterations)
+    train_kwargs = {}
+    if num_envs > 1 and "num_envs" in inspect.signature(agent.train).parameters:
+        train_kwargs["num_envs"] = num_envs
     t_train = time.perf_counter()
-    agent.train(iterations, preset_obj.episodes_per_iteration)
+    agent.train(iterations, preset_obj.episodes_per_iteration, **train_kwargs)
     train_seconds = time.perf_counter() - t_train
 
     t_eval = time.perf_counter()

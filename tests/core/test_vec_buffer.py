@@ -1,0 +1,203 @@
+"""Vectorized rollout storage vs the sequential reference buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import (
+    UAVRollout,
+    UGVRollout,
+    VecUAVRollout,
+    VecUGVRollout,
+)
+from repro.core.gae import compute_gae, compute_gae_batch
+from repro.env.observation import UAVObsArrays, UGVObsArrays
+
+GAMMA, LAM = 0.99, 0.95
+
+
+class TestComputeGaeBatch:
+    def test_matches_per_stream_gae_with_shared_dones(self):
+        rng = np.random.default_rng(0)
+        k, t, u = 3, 20, 4
+        rewards = rng.standard_normal((k, t, u))
+        values = rng.standard_normal((k, t, u))
+        dones = np.zeros((k, t), dtype=bool)
+        dones[:, 9] = dones[:, -1] = True  # two episodes per replica
+        adv, ret = compute_gae_batch(rewards, values, dones, GAMMA, LAM)
+        for ki in range(k):
+            for ui in range(u):
+                ref_adv, ref_ret = compute_gae(rewards[ki, :, ui],
+                                               values[ki, :, ui],
+                                               dones[ki], GAMMA, LAM)
+                np.testing.assert_allclose(adv[ki, :, ui], ref_adv, rtol=1e-12)
+                np.testing.assert_allclose(ret[ki, :, ui], ref_ret, rtol=1e-12)
+
+    def test_matches_per_stream_gae_with_full_shape_dones(self):
+        """Per-stream terminals (the UAV flight-end case)."""
+        rng = np.random.default_rng(1)
+        k, t, v = 2, 16, 3
+        rewards = rng.standard_normal((k, t, v))
+        values = rng.standard_normal((k, t, v))
+        dones = rng.random((k, t, v)) < 0.25
+        dones[:, -1] = True
+        adv, ret = compute_gae_batch(rewards, values, dones, GAMMA, LAM)
+        for ki in range(k):
+            for vi in range(v):
+                ref_adv, ref_ret = compute_gae(rewards[ki, :, vi],
+                                               values[ki, :, vi],
+                                               dones[ki, :, vi], GAMMA, LAM)
+                np.testing.assert_allclose(adv[ki, :, vi], ref_adv, rtol=1e-12)
+                np.testing.assert_allclose(ret[ki, :, vi], ref_ret, rtol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            compute_gae_batch(np.zeros((2, 5, 3)), np.zeros((2, 5, 2)),
+                              np.zeros((2, 5), dtype=bool), GAMMA, LAM)
+        with pytest.raises(ValueError):
+            compute_gae_batch(np.zeros((2, 5, 3)), np.zeros((2, 5, 3)),
+                              np.zeros((3, 5), dtype=bool), GAMMA, LAM)
+
+
+def _collect_both_ugv(env, horizon, seed):
+    """Drive one env, filling a sequential UGVRollout and a K=1 vec rollout
+    with identical synthetic policy outputs."""
+    rng = np.random.default_rng(seed)
+    u, b = env.config.num_ugvs, env.num_stops
+    seq = UGVRollout(num_agents=u)
+    vec = VecUGVRollout(1, horizon, u, b)
+    res = env.reset()
+    obs_buf = UGVObsArrays.allocate((1,), u, b)
+    episode_done = False
+    for t in range(horizon):
+        if episode_done:
+            res = env.reset()
+            episode_done = False
+        actionable = env._actionable()
+        actions = rng.integers(0, b + 1, u)
+        log_probs = rng.standard_normal(u)
+        values = rng.standard_normal(u)
+        obs_list = res.ugv_observations
+        step = env.step(actions, rng.uniform(-20, 20, (env.config.num_uavs, 2)))
+        seq.add(obs_list, actions, log_probs, values, step.ugv_rewards,
+                actionable, step.done)
+        stacked = UGVObsArrays.from_observations([obs_list])
+        obs_buf.write((0,), stacked.index(0))
+        vec.add(obs_buf, actions[None], log_probs[None], values[None],
+                step.ugv_rewards[None], actionable[None],
+                np.array([step.done]))
+        res = step
+        episode_done = step.done
+    return seq, vec
+
+
+class TestVecUGVRollout:
+    def test_flat_rows_match_sequential_samples_at_k1(self, toy_env):
+        horizon = toy_env.config.episode_len  # one full episode
+        seq, vec = _collect_both_ugv(toy_env, horizon, seed=11)
+        samples = seq.build_samples(GAMMA, LAM, episode=0)
+        flat = vec.flat_samples(GAMMA, LAM)
+        assert len(flat) == len(samples)
+        for i, s in enumerate(samples):
+            assert flat.env[i] == 0
+            assert flat.agent[i] == s.agent
+            assert flat.t[i] == s.t
+            assert flat.actions[i] == s.action
+            assert flat.log_probs[i] == pytest.approx(s.log_prob)
+            assert flat.values[i] == pytest.approx(s.value)
+            assert flat.advantages[i] == pytest.approx(s.advantage, rel=1e-12)
+            assert flat.returns[i] == pytest.approx(s.ret, rel=1e-12)
+
+    def test_flat_samples_cached(self, toy_env):
+        _, vec = _collect_both_ugv(toy_env, toy_env.config.episode_len, seed=2)
+        assert vec.flat_samples(GAMMA, LAM) is vec.flat_samples(GAMMA, LAM)
+
+    def test_add_past_horizon_raises(self, toy_env):
+        _, vec = _collect_both_ugv(toy_env, toy_env.config.episode_len, seed=3)
+        u, b = toy_env.config.num_ugvs, toy_env.num_stops
+        buf = UGVObsArrays.allocate((1,), u, b)
+        with pytest.raises(IndexError):
+            vec.add(buf, np.zeros((1, u), dtype=int), np.zeros((1, u)),
+                    np.zeros((1, u)), np.zeros((1, u)),
+                    np.ones((1, u), dtype=bool), np.array([False]))
+
+
+class TestVecUAVRollout:
+    def test_flight_segmentation_matches_sequential(self):
+        """Synthetic airborne masks: per-flight GAE must equal UAVRollout's
+        explicit segments, including flights cut by episode end."""
+        rng = np.random.default_rng(7)
+        k, horizon, v, s = 1, 14, 2, 6
+
+        class _Obs:
+            def __init__(self, grid, aux):
+                self.grid, self.aux = grid, aux
+
+        # airborne[t, v]: two flights for UAV 0, one spanning the episode
+        # boundary for UAV 1 (cut there by the done flag).
+        airborne = np.zeros((horizon, v), dtype=bool)
+        airborne[1:4, 0] = True
+        airborne[6:9, 0] = True
+        airborne[5:10, 1] = True
+        dones = np.zeros(horizon, dtype=bool)
+        dones[7] = dones[-1] = True  # episode boundary mid-flight of UAV 1
+
+        seq = UAVRollout(num_agents=v)
+        vec = VecUAVRollout(k, horizon, v, s)
+        obs_buf = UAVObsArrays.allocate((1,), v, s)
+        for t in range(horizon):
+            grids = rng.random((v, 3, s, s))
+            auxs = rng.random((v, 5))
+            actions = rng.standard_normal((v, 2))
+            log_probs = rng.standard_normal(v)
+            values = rng.standard_normal(v)
+            rewards = rng.standard_normal(v)
+            next_airborne = airborne[t + 1] if t + 1 < horizon else np.zeros(v, bool)
+            for vi in range(v):
+                if airborne[t, vi]:
+                    seq.add(vi, _Obs(grids[vi], auxs[vi]), actions[vi],
+                            log_probs[vi], values[vi], rewards[vi])
+                    if not next_airborne[vi] or dones[t]:
+                        seq.close_flight(vi)
+            obs_buf.grid[0] = grids
+            obs_buf.aux[0] = auxs
+            obs_buf.airborne[0] = airborne[t]
+            vec.add(obs_buf, actions[None], log_probs[None], values[None],
+                    rewards[None], next_airborne[None], np.array([dones[t]]))
+
+        assert vec.num_transitions == seq.num_transitions
+        seq_samples = seq.build_samples(GAMMA, LAM)
+        flat = vec.flat_samples(GAMMA, LAM)
+        assert len(flat) == len(seq_samples)
+        # Sequential emits segment-by-segment; match rows via (action) keys.
+        vec_by_key = {tuple(np.round(flat.actions[i], 12)):
+                      (flat.advantages[i], flat.returns[i], flat.log_probs[i])
+                      for i in range(len(flat))}
+        for s_ in seq_samples:
+            adv, ret, logp = vec_by_key[tuple(np.round(s_.action, 12))]
+            assert adv == pytest.approx(s_.advantage, rel=1e-12)
+            assert ret == pytest.approx(s_.ret, rel=1e-12)
+            assert logp == pytest.approx(s_.log_prob)
+
+    def test_invalid_gap_does_not_leak_into_flight(self):
+        """Values stored in the gap between flights must not affect GAE of
+        the preceding flight (the valid->invalid edge is a flight end)."""
+        vec = VecUAVRollout(1, 6, 1, 4)
+        obs_buf = UAVObsArrays.allocate((1,), 1, 4)
+        airborne = [True, True, False, False, True, True]
+        for t in range(6):
+            obs_buf.airborne[0] = [airborne[t]]
+            next_air = np.array([airborne[t + 1]]) if t < 5 else np.array([False])
+            # Poison the invalid steps with huge values/rewards.
+            poison = 0.0 if airborne[t] else 1e6
+            vec.add(obs_buf, np.zeros((1, 1, 2)), np.zeros((1, 1)),
+                    np.full((1, 1), 1.0 + poison), np.full((1, 1), 0.5 + poison),
+                    next_air[None], np.array([t == 5]))
+        flat = vec.flat_samples(GAMMA, LAM)
+        assert len(flat) == 4
+        # Each flight is two steps of reward 0.5, value 1.0, terminal at end.
+        ref_adv, ref_ret = compute_gae(np.array([0.5, 0.5]), np.array([1.0, 1.0]),
+                                       np.array([False, True]), GAMMA, LAM)
+        np.testing.assert_allclose(flat.advantages.reshape(2, 2),
+                                   np.stack([ref_adv, ref_adv]), rtol=1e-12)
+        np.testing.assert_allclose(flat.returns.reshape(2, 2),
+                                   np.stack([ref_ret, ref_ret]), rtol=1e-12)

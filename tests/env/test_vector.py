@@ -1,0 +1,194 @@
+"""Tests for VecAirGroundEnv and the array observation encoders."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    AirGroundEnv,
+    EnvConfig,
+    MetricSnapshot,
+    UAVObsArrays,
+    UGVObsArrays,
+    VecAirGroundEnv,
+    replica_seed,
+)
+
+
+@pytest.fixture()
+def venv(toy_campus, toy_stops):
+    config = EnvConfig(num_ugvs=2, num_uavs_per_ugv=2, episode_len=12)
+    env = AirGroundEnv(toy_campus, config, stops=toy_stops, seed=7)
+    return VecAirGroundEnv.from_env(env, 3)
+
+
+def _random_actions(venv, rng):
+    k, u, v = venv.num_envs, venv.config.num_ugvs, venv.config.num_uavs
+    ugv = rng.integers(0, venv.num_stops + 1, (k, u))
+    uav = rng.uniform(-30.0, 30.0, (k, v, 2))
+    return ugv, uav
+
+
+class TestVecEnvBasics:
+    def test_reset_shapes(self, venv):
+        res = venv.reset()
+        k, u, v = 3, venv.config.num_ugvs, venv.config.num_uavs
+        b = venv.num_stops
+        assert res.ugv_obs.stop_features.shape == (k, u, b, 3)
+        assert res.ugv_obs.action_mask.shape == (k, u, b + 1)
+        assert res.ugv_obs.ugv_stops.shape == (k, u)
+        assert res.uav_obs.airborne.shape == (k, v)
+        assert res.ugv_rewards.shape == (k, u)
+        assert res.dones.shape == (k,)
+        assert res.ugv_actionable.all()  # everyone acts at t=0
+        assert not res.uav_obs.airborne.any()  # all docked at t=0
+
+    def test_step_shapes_and_infos(self, venv):
+        rng = np.random.default_rng(0)
+        venv.reset()
+        res = venv.step(*_random_actions(venv, rng))
+        assert res.ugv_rewards.shape == (3, venv.config.num_ugvs)
+        assert res.uav_rewards.shape == (3, venv.config.num_uavs)
+        assert len(res.infos) == 3
+        assert all(info["t"] == 1 for info in res.infos)
+
+    def test_step_before_reset_raises(self, toy_campus, toy_stops):
+        config = EnvConfig(num_ugvs=2, num_uavs_per_ugv=1, episode_len=5)
+        env = AirGroundEnv(toy_campus, config, stops=toy_stops, seed=0)
+        venv = VecAirGroundEnv.from_env(env, 2)
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError):
+            venv.step(*_random_actions(venv, rng))
+
+    def test_action_shape_validation(self, venv):
+        venv.reset()
+        with pytest.raises(ValueError):
+            venv.step(np.zeros((3, 1), dtype=int),
+                      np.zeros((3, venv.config.num_uavs, 2)))
+        with pytest.raises(ValueError):
+            venv.step(np.zeros((3, venv.config.num_ugvs), dtype=int),
+                      np.zeros((3, 1, 2)))
+
+    def test_replica_seeds_distinct(self, venv):
+        seeds = [env._seed for env in venv.envs]
+        assert len(set(seeds)) == 3
+        assert seeds[0] == 7  # replica 0 keeps the base seed
+        assert seeds[1] == replica_seed(7, 1)
+
+    def test_replicas_diverge(self, venv):
+        """Different replica seeds produce different sensor draws."""
+        venv.reset()
+        data0 = venv.envs[0]._initial_data
+        data1 = venv.envs[1]._initial_data
+        assert not np.allclose(data0, data1)
+
+
+class TestAutoReset:
+    def test_auto_reset_on_done(self, venv):
+        rng = np.random.default_rng(1)
+        venv.reset()
+        t_len = venv.config.episode_len
+        for t in range(t_len):
+            res = venv.step(*_random_actions(venv, rng))
+        assert res.dones.all()
+        assert all("final_metrics" in info for info in res.infos)
+        assert all(isinstance(info["final_metrics"], MetricSnapshot)
+                   for info in res.infos)
+        # Auto-reset: envs are at t=0 and the next step works immediately.
+        assert all(env.t == 0 for env in venv.envs)
+        res = venv.step(*_random_actions(venv, rng))
+        assert not res.dones.any()
+
+    def test_reset_on_done_false_requires_reset(self, venv):
+        rng = np.random.default_rng(1)
+        venv.reset()
+        for t in range(venv.config.episode_len):
+            last = t == venv.config.episode_len - 1
+            res = venv.step(*_random_actions(venv, rng), reset_on_done=not last)
+        assert res.dones.all()
+        with pytest.raises(RuntimeError):
+            venv.step(*_random_actions(venv, rng))
+        venv.reset()
+        venv.step(*_random_actions(venv, rng))  # fine again
+
+    def test_double_buffering_keeps_previous_obs_valid(self, venv):
+        rng = np.random.default_rng(2)
+        prev = venv.reset()
+        stops_before = prev.ugv_obs.ugv_stops.copy()
+        cur = venv.step(*_random_actions(venv, rng))
+        # The previous result's arrays were not overwritten by the step.
+        assert np.array_equal(prev.ugv_obs.ugv_stops, stops_before)
+        assert cur.ugv_obs is not prev.ugv_obs
+
+
+class TestEncoderEquivalence:
+    """Batch encoders must produce bitwise the per-agent builder output."""
+
+    def test_ugv_and_uav_encoders_match_dataclass_builders(self, toy_campus, toy_stops):
+        config = EnvConfig(num_ugvs=2, num_uavs_per_ugv=2, episode_len=12)
+        env = AirGroundEnv(toy_campus, config, stops=toy_stops, seed=3)
+        env.reset()
+        rng = np.random.default_rng(0)
+        ugv_out = UGVObsArrays.allocate((1,), config.num_ugvs, env.num_stops)
+        uav_out = UAVObsArrays.allocate((1,), config.num_uavs, config.uav_obs_size)
+        airborne_checked = 0
+        for t in range(config.episode_len):
+            # Release often so the UAV raster path is exercised.
+            acts = (np.full(config.num_ugvs, env.release_action) if t % 3 == 0
+                    else rng.integers(0, env.num_stops, config.num_ugvs))
+            uacts = rng.uniform(-30, 30, (config.num_uavs, 2))
+            res = env.step(acts, uacts)
+            env.encode_observations(ugv_out, uav_out, 0)
+            for u, obs in enumerate(res.ugv_observations):
+                assert np.array_equal(obs.stop_features, ugv_out.stop_features[0, u])
+                assert np.array_equal(obs.action_mask, ugv_out.action_mask[0, u])
+                assert np.array_equal(obs.ugv_positions, ugv_out.ugv_positions[0])
+                assert obs.current_stop == ugv_out.ugv_stops[0, u]
+            for v, obs in enumerate(res.uav_observations):
+                assert (obs is not None) == bool(uav_out.airborne[0, v])
+                if obs is not None:
+                    airborne_checked += 1
+                    assert np.array_equal(obs.grid, uav_out.grid[0, v])
+                    assert np.array_equal(obs.aux, uav_out.aux[0, v])
+        assert airborne_checked > 0
+
+    def test_view_adapter_roundtrip(self, toy_env):
+        res = toy_env.reset()
+        stacked = UGVObsArrays.from_observations([res.ugv_observations])
+        views = stacked.observations(0)
+        for view, ref in zip(views, res.ugv_observations):
+            assert view.agent_index == ref.agent_index
+            assert view.current_stop == ref.current_stop
+            assert np.array_equal(view.stop_features, ref.stop_features)
+            assert np.array_equal(view.action_mask, ref.action_mask)
+
+    def test_index_selects_leading_axes(self, toy_env):
+        res = toy_env.reset()
+        stacked = UGVObsArrays.from_observations([res.ugv_observations] * 4)
+        picked = stacked.index(np.array([2, 0]))
+        assert picked.lead_shape == (2,)
+        assert np.array_equal(picked.stop_features[0], stacked.stop_features[2])
+
+
+class TestMetricsReduction:
+    def test_mean_of_snapshots(self):
+        a = MetricSnapshot(0.2, 0.4, 0.6, 0.8)
+        b = MetricSnapshot(0.4, 0.6, 0.8, 1.0)
+        m = MetricSnapshot.mean([a, b])
+        assert m.psi == pytest.approx(0.3)
+        assert m.xi == pytest.approx(0.5)
+        assert m.zeta == pytest.approx(0.7)
+        assert m.beta == pytest.approx(0.9)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            MetricSnapshot.mean([])
+
+    def test_venv_metrics_is_replica_mean(self, venv):
+        rng = np.random.default_rng(3)
+        venv.reset()
+        for _ in range(4):
+            venv.step(*_random_actions(venv, rng))
+        per_env = venv.metrics_per_env()
+        mean = venv.metrics()
+        assert mean.psi == pytest.approx(np.mean([s.psi for s in per_env]))
+        assert mean.beta == pytest.approx(np.mean([s.beta for s in per_env]))
