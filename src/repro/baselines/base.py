@@ -103,9 +103,11 @@ class PolicyAgent:
                                    self.config.ppo, seed=self.config.seed)
 
     def train(self, iterations: int, episodes_per_iteration: int = 1,
-              callback=None, num_envs: int = 1) -> list[TrainRecord]:
+              callback=None, num_envs: int = 1,
+              total_iterations: int | None = None) -> list[TrainRecord]:
         return self.trainer.train(iterations, episodes_per_iteration, callback,
-                                  num_envs=num_envs)
+                                  num_envs=num_envs,
+                                  total_iterations=total_iterations)
 
     def evaluate(self, episodes: int = 1, greedy: bool = True) -> MetricSnapshot:
         return self.trainer.evaluate(episodes, greedy)
@@ -128,3 +130,30 @@ class PolicyAgent:
         directory = Path(directory)
         load_checkpoint(self.ugv_policy, directory / "ugv_policy.npz")
         load_checkpoint(self.uav_policy, directory / "uav_policy.npz")
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full training state (parameters + trainer snapshot).
+
+        Policies exposing ``get_extra_state`` (IC3Net's recurrent core)
+        contribute their non-parameter state too.
+        """
+        state = {"ugv_policy": self.ugv_policy.state_dict(),
+                 "uav_policy": self.uav_policy.state_dict(),
+                 "trainer": self.trainer.state_dict()}
+        extra_fn = getattr(self.ugv_policy, "get_extra_state", None)
+        if extra_fn is not None:
+            state["ugv_policy_extra"] = extra_fn()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        from ..nn import validate_state_dict
+
+        validate_state_dict(self.ugv_policy, state["ugv_policy"], "ugv_policy state")
+        validate_state_dict(self.uav_policy, state["uav_policy"], "uav_policy state")
+        self.ugv_policy.load_state_dict(state["ugv_policy"])
+        self.uav_policy.load_state_dict(state["uav_policy"])
+        self.trainer.load_state_dict(state["trainer"])
+        set_extra = getattr(self.ugv_policy, "set_extra_state", None)
+        if set_extra is not None:
+            set_extra(state.get("ugv_policy_extra") or {})

@@ -54,6 +54,28 @@ class IC3NetUGVPolicy(Module):
         """Drop cached incoming states once an update cycle finishes."""
         self._state_cache.clear()
 
+    # -- checkpointing --------------------------------------------------
+    def get_extra_state(self) -> dict:
+        """Non-parameter recurrent state for full-training checkpoints.
+
+        At iteration boundaries the replay cache is empty (cleared by
+        :meth:`post_update`), so only the carried LSTM state needs
+        capturing; ``begin_episode`` resets it at the next episode start,
+        but capturing it keeps mid-episode snapshots honest too.
+        """
+        if self._state is None:
+            return {}
+        h, c = self._state
+        return {"h": h.numpy().copy(), "c": c.numpy().copy()}
+
+    def set_extra_state(self, extra: dict) -> None:
+        if extra:
+            self._state = (Tensor(np.asarray(extra["h"], dtype=float)),
+                           Tensor(np.asarray(extra["c"], dtype=float)))
+        else:
+            self._state = None
+        self._state_cache.clear()
+
     def _incoming_state(self, observations) -> tuple[Tensor, Tensor]:
         key = id(observations)
         if key in self._state_cache:

@@ -150,6 +150,7 @@ class MADDPGAgent:
         self.noise_std = noise_std
         self.gamma = self.config.ppo.gamma
         self._agent_eye = np.eye(self.num_ugvs)
+        self._iteration = 0
 
     # ------------------------------------------------------------------
     # Acting
@@ -349,9 +350,11 @@ class MADDPGAgent:
     # Facade
     # ------------------------------------------------------------------
     def train(self, iterations: int, episodes_per_iteration: int = 1,
-              callback=None, updates_per_iteration: int = 8) -> list[dict]:
+              callback=None, updates_per_iteration: int = 8,
+              total_iterations: int | None = None) -> list[dict]:
         history = []
-        for iteration in range(iterations):
+        for _ in range(iterations):
+            iteration = self._iteration
             metrics = None
             for _ in range(episodes_per_iteration):
                 metrics = self._run_episode(explore=True)
@@ -361,6 +364,7 @@ class MADDPGAgent:
                 losses.update(self._update_uav())
             record = {"iteration": iteration, "metrics": metrics.as_dict(), "losses": losses}
             history.append(record)
+            self._iteration += 1
             if callback is not None:
                 callback(record)
         return history
@@ -391,3 +395,79 @@ class MADDPGAgent:
         directory = Path(directory)
         load_checkpoint(self.ugv_actor, directory / "ugv_actor.npz")
         load_checkpoint(self.uav_actor, directory / "uav_actor.npz")
+
+    # ------------------------------------------------------------------
+    # Full training state (checkpoint/resume)
+    # ------------------------------------------------------------------
+    _MODULE_ATTRS = ("ugv_actor", "ugv_actor_target", "ugv_critic",
+                     "ugv_critic_target", "uav_actor", "uav_actor_target",
+                     "uav_critic", "uav_critic_target")
+    _OPT_ATTRS = ("opt_ugv_actor", "opt_ugv_critic", "opt_uav_actor",
+                  "opt_uav_critic")
+    _UGV_BUFFER_KEYS = ("agent", "obs", "actions", "reward", "next_obs", "done")
+    _UAV_BUFFER_KEYS = ("obs", "action", "reward", "next_obs", "done")
+
+    @staticmethod
+    def _buffer_state(buffer: deque, keys: tuple[str, ...]) -> dict:
+        """Replay deque -> per-field stacked arrays (entries are uniform)."""
+        state: dict = {"size": len(buffer)}
+        for key in keys:
+            if buffer:
+                state[key] = np.stack([np.asarray(entry[key]) for entry in buffer])
+        return state
+
+    @staticmethod
+    def _buffer_from_state(state: dict, keys: tuple[str, ...], maxlen: int) -> deque:
+        size = int(state["size"])
+        entries = []
+        for i in range(size):
+            entry = {}
+            for key in keys:
+                value = np.asarray(state[key])[i]
+                if key == "reward":
+                    entry[key] = float(value)
+                elif key == "done":
+                    entry[key] = bool(value)
+                elif key == "agent":
+                    entry[key] = int(value)
+                else:
+                    entry[key] = value
+            entries.append(entry)
+        return deque(entries, maxlen=maxlen)
+
+    def state_dict(self) -> dict:
+        """Everything a resumed MADDPG run needs for bit-identical
+        continuation: actors/critics and their targets, all four Adam
+        states, both replay buffers, and the exploration/env rng streams.
+        """
+        from ..nn import rng_state
+
+        return {
+            "iteration": int(self._iteration),
+            "rng": rng_state(self.rng),
+            "env_rng": self.env.rng_state(),
+            "modules": {name: getattr(self, name).state_dict()
+                        for name in self._MODULE_ATTRS},
+            "optimizers": {name: getattr(self, name).state_dict()
+                           for name in self._OPT_ATTRS},
+            "ugv_buffer": self._buffer_state(self.ugv_buffer, self._UGV_BUFFER_KEYS),
+            "uav_buffer": self._buffer_state(self.uav_buffer, self._UAV_BUFFER_KEYS),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from ..nn import rng_from_state, validate_state_dict
+
+        for name in self._MODULE_ATTRS:
+            validate_state_dict(getattr(self, name), state["modules"][name],
+                                f"{name} state")
+        for name in self._MODULE_ATTRS:
+            getattr(self, name).load_state_dict(state["modules"][name])
+        for name in self._OPT_ATTRS:
+            getattr(self, name).load_state_dict(state["optimizers"][name])
+        self._iteration = int(state["iteration"])
+        self.rng = rng_from_state(state["rng"])
+        self.env.set_rng_state(state["env_rng"])
+        self.ugv_buffer = self._buffer_from_state(
+            state["ugv_buffer"], self._UGV_BUFFER_KEYS, self.ugv_buffer.maxlen)
+        self.uav_buffer = self._buffer_from_state(
+            state["uav_buffer"], self._UAV_BUFFER_KEYS, self.uav_buffer.maxlen)

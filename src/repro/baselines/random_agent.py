@@ -73,3 +73,15 @@ class RandomAgent:
 
     def load(self, directory: str | Path) -> None:
         return None
+
+    def state_dict(self) -> dict:
+        """Resumable state: just the sampling and env rng streams."""
+        from ..nn import rng_state
+
+        return {"rng": rng_state(self.rng), "env_rng": self.env.rng_state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        from ..nn import rng_from_state
+
+        self.rng = rng_from_state(state["rng"])
+        self.env.set_rng_state(state["env_rng"])

@@ -66,7 +66,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "replicas per iteration (default: 1, "
                               "sequential)")
     p_train.add_argument("--save", type=str, default=None,
-                         help="directory to write the trained checkpoint")
+                         help="directory to write the trained (weights-only) "
+                              "checkpoint")
+    p_train.add_argument("--checkpoint-dir", type=str, default=None,
+                         help="run directory for full-training-state "
+                              "checkpoints + train.jsonl telemetry "
+                              "(crash-safe, resumable)")
+    p_train.add_argument("--save-every", type=int, default=10,
+                         help="checkpoint every N iterations "
+                              "(default: 10; requires --checkpoint-dir)")
+    p_train.add_argument("--keep-last", type=int, default=3,
+                         help="periodic checkpoints to retain besides the "
+                              "best-by-λ one (default: 3)")
+    p_train.add_argument("--resume", type=str, default=None, metavar="latest|PATH",
+                         help="resume from 'latest' (via the run directory's "
+                              "pointer) or from a specific checkpoint path; "
+                              "continuation is bit-for-bit identical to an "
+                              "uninterrupted run")
 
     p_eval = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
     p_eval.add_argument("method", choices=sorted(AGENT_NAMES))
@@ -155,24 +171,27 @@ def main(argv: list[str] | None = None) -> int:
     preset = get_preset(args.preset)
 
     if args.command == "train":
-        record = run_method(args.method, args.campus, preset,
-                            num_ugvs=args.ugvs, num_uavs_per_ugv=args.uavs,
-                            seed=args.seed, train_iterations=args.iterations,
-                            num_envs=args.num_envs)
+        from .experiments import RESUME_EXIT_CODE, TrainingInterrupted, run_training
+
+        try:
+            record, agent = run_training(
+                args.method, args.campus, preset,
+                num_ugvs=args.ugvs, num_uavs_per_ugv=args.uavs,
+                seed=args.seed, train_iterations=args.iterations,
+                num_envs=args.num_envs,
+                checkpoint_dir=args.checkpoint_dir,
+                save_every=args.save_every, keep_last=args.keep_last,
+                resume=args.resume)
+        except TrainingInterrupted as interrupted:
+            print(f"{interrupted}")
+            print(f"resume with: repro train {args.method} --campus "
+                  f"{args.campus} --preset {args.preset} "
+                  f"--checkpoint-dir {args.checkpoint_dir} --resume latest")
+            return RESUME_EXIT_CODE
         m = record.metrics
         print(f"{args.method} on {args.campus}: λ={m['efficiency']:.4f} "
               f"ψ={m['psi']:.4f} ξ={m['xi']:.4f} ζ={m['zeta']:.4f} β={m['beta']:.4f}")
         if args.save:
-            import inspect
-
-            env = build_env(args.campus, preset, args.ugvs, args.uavs, args.seed)
-            agent = make_agent(args.method, env, preset.garl_config().replace(
-                seed=method_seed(args.method, args.seed)))
-            iters = args.iterations if args.iterations is not None else preset.train_iterations
-            kwargs = {}
-            if args.num_envs > 1 and "num_envs" in inspect.signature(agent.train).parameters:
-                kwargs["num_envs"] = args.num_envs
-            agent.train(iters, preset.episodes_per_iteration, **kwargs)
             agent.save(args.save)
             print(f"checkpoint written to {args.save}")
 

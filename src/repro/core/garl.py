@@ -52,14 +52,18 @@ class GARLAgent:
 
     # ------------------------------------------------------------------
     def train(self, iterations: int, episodes_per_iteration: int = 1,
-              callback=None, num_envs: int = 1) -> list[TrainRecord]:
+              callback=None, num_envs: int = 1,
+              total_iterations: int | None = None) -> list[TrainRecord]:
         """Run the Algorithm-1 training loop for ``iterations`` rounds.
 
         ``num_envs > 1`` collects each iteration's episodes from that
         many lock-stepped env replicas with batched policy forwards.
+        ``total_iterations`` anchors schedule progress across a
+        checkpoint/resume split (see :meth:`IPPOTrainer.train`).
         """
         return self.trainer.train(iterations, episodes_per_iteration, callback,
-                                  num_envs=num_envs)
+                                  num_envs=num_envs,
+                                  total_iterations=total_iterations)
 
     def evaluate(self, episodes: int = 1, greedy: bool = True) -> MetricSnapshot:
         """Greedy evaluation; returns averaged metric snapshot."""
@@ -91,3 +95,25 @@ class GARLAgent:
         directory = Path(directory)
         load_checkpoint(self.ugv_policy, directory / "ugv_policy.npz")
         load_checkpoint(self.uav_policy, directory / "uav_policy.npz")
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full training state: both policies plus the trainer snapshot.
+
+        Everything needed for ``resume ≡ uninterrupted``: parameters,
+        Adam moments/steps, all rng streams and the iteration counter.
+        Leaves are numpy arrays or JSON-able scalars (see
+        ``repro.experiments.checkpoint`` for the on-disk format).
+        """
+        return {"ugv_policy": self.ugv_policy.state_dict(),
+                "uav_policy": self.uav_policy.state_dict(),
+                "trainer": self.trainer.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        from ..nn import validate_state_dict
+
+        validate_state_dict(self.ugv_policy, state["ugv_policy"], "ugv_policy state")
+        validate_state_dict(self.uav_policy, state["uav_policy"], "uav_policy state")
+        self.ugv_policy.load_state_dict(state["ugv_policy"])
+        self.uav_policy.load_state_dict(state["uav_policy"])
+        self.trainer.load_state_dict(state["trainer"])

@@ -18,7 +18,17 @@ import numpy as np
 from ..env.airground import AirGroundEnv
 from ..env.metrics import MetricSnapshot
 from ..env.vector import VecAirGroundEnv
-from ..nn import Adam, Categorical, Tensor, annotate, clip_grad_norm, detect_anomaly, no_grad
+from ..nn import (
+    Adam,
+    Categorical,
+    Tensor,
+    annotate,
+    clip_grad_norm,
+    detect_anomaly,
+    no_grad,
+    rng_from_state,
+    rng_state,
+)
 from .buffer import (
     UAVFlatBatch,
     UAVRollout,
@@ -202,6 +212,10 @@ class IPPOTrainer:
         self.entropy_schedule = entropy_schedule
         self._entropy_coef = self.ppo.entropy_coef
         self._venv: VecAirGroundEnv | None = None
+        # Global iteration counter: persists across train() calls (and
+        # through checkpoint/resume), so records and schedule progress
+        # are numbered identically whether or not a run was interrupted.
+        self._iteration = 0
 
     # ------------------------------------------------------------------
     def collect(self, episodes: int = 1) -> tuple[list[UGVSample], list[UAVSample], MetricSnapshot, float, float]:
@@ -530,7 +544,8 @@ class IPPOTrainer:
 
     # ------------------------------------------------------------------
     def train(self, iterations: int, episodes_per_iteration: int = 1,
-              callback=None, num_envs: int = 1) -> list[TrainRecord]:
+              callback=None, num_envs: int = 1,
+              total_iterations: int | None = None) -> list[TrainRecord]:
         """Run M training iterations (Algorithm 1's outer loop).
 
         With ``num_envs > 1`` (and vectorization-capable policies,
@@ -539,10 +554,20 @@ class IPPOTrainer:
         each iteration then gathers ``num_envs * episodes_per_iteration``
         episodes.  Stateful policies silently fall back to the sequential
         path.
+
+        ``iterations`` counts iterations *to run now*; the trainer's
+        persistent counter numbers them globally, so a checkpoint-resumed
+        call continues where the interrupted run stopped.
+        ``total_iterations`` (default: counter + ``iterations``) anchors
+        schedule progress — a resumed run must pass the original planned
+        total for lr/entropy schedules to anneal identically.
         """
         use_vec = num_envs > 1 and self.supports_vectorized()
-        for iteration in range(iterations):
-            progress = iteration / max(1, iterations - 1)
+        total = (total_iterations if total_iterations is not None
+                 else self._iteration + iterations)
+        for _ in range(iterations):
+            iteration = self._iteration
+            progress = iteration / max(1, total - 1)
             if self.lr_schedule is not None:
                 lr = float(self.lr_schedule(progress))
                 self.ugv_optimizer.lr = lr
@@ -566,9 +591,52 @@ class IPPOTrainer:
                     post()
             record = TrainRecord(iteration, metrics.as_dict(), ugv_r, uav_r, losses)
             self.history.append(record)
+            self._iteration += 1
             if callback is not None:
                 callback(record)
         return self.history
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full resumable trainer state (everything but the parameters).
+
+        Captured at iteration boundaries: both Adam optimisers (step
+        count + moments), the sampling rng stream, the env's rng stream
+        (plus each vec-env replica's, when vectorized collection has
+        run), the global iteration counter and the current entropy
+        coefficient.  Leaves are numpy arrays or JSON-able scalars.
+        """
+        state: dict = {
+            "iteration": int(self._iteration),
+            "entropy_coef": float(self._entropy_coef),
+            "rng": rng_state(self.rng),
+            "ugv_optimizer": self.ugv_optimizer.state_dict(),
+            "uav_optimizer": self.uav_optimizer.state_dict(),
+            "env_rng": self.env.rng_state(),
+        }
+        if self._venv is not None:
+            state["venv"] = {"num_envs": int(self._venv.num_envs),
+                             "rng_states": self._venv.rng_states()}
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`.
+
+        When the snapshot includes vec-env replica streams, the replicas
+        are re-materialised and repositioned so a resumed vectorized run
+        continues every replica's stream (including unseeded auto-reset
+        continuations) exactly where the interrupted run left it.
+        """
+        self._iteration = int(state["iteration"])
+        self._entropy_coef = float(state["entropy_coef"])
+        self.rng = rng_from_state(state["rng"])
+        self.ugv_optimizer.load_state_dict(state["ugv_optimizer"])
+        self.uav_optimizer.load_state_dict(state["uav_optimizer"])
+        self.env.set_rng_state(state["env_rng"])
+        venv = state.get("venv")
+        if venv:
+            self._venv = self._get_venv(int(venv["num_envs"]))
+            self._venv.set_rng_states(venv["rng_states"])
 
     def evaluate(self, episodes: int = 1, greedy: bool = True) -> MetricSnapshot:
         """Average metrics over greedy evaluation episodes."""

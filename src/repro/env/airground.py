@@ -84,6 +84,25 @@ class AirGroundEnv:
         self._initial_data = np.zeros(campus.num_sensors)
 
     # ------------------------------------------------------------------
+    def rng_state(self) -> dict:
+        """JSON-able snapshot of the env's rng stream (seed + position).
+
+        Checkpointing captures this at episode boundaries: simulation
+        state is rebuilt by ``reset_state()`` from the rng stream, so the
+        stream position *is* the env's resumable state.
+        """
+        from ..nn.serialize import rng_state as _rng_state
+
+        return {"seed": self._seed, "bit_generator": _rng_state(self.rng)}
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`rng_state`."""
+        from ..nn.serialize import rng_from_state
+
+        self._seed = state["seed"]
+        self.rng = rng_from_state(state["bit_generator"])
+
+    # ------------------------------------------------------------------
     def attach_event_log(self, log: EventLog | None) -> None:
         """Attach (or detach with None) a structured event log."""
         self._event_log = log

@@ -185,6 +185,26 @@ class VecAirGroundEnv:
                              ugv_actionable=actionable, dones=dones, infos=infos)
 
     # ------------------------------------------------------------------
+    def rng_states(self) -> list[dict]:
+        """Per-replica rng snapshots (replica 0 first).
+
+        Captured at collect-window boundaries, these pin down every
+        replica's continuation stream — including the ``replica_seed``
+        striding baked into each replica's ``_seed`` and the auto-reset
+        continuation position (auto-resets are unseeded, so the stream
+        position encodes them).
+        """
+        return [env.rng_state() for env in self.envs]
+
+    def set_rng_states(self, states: list[dict]) -> None:
+        """Restore snapshots captured by :meth:`rng_states`."""
+        if len(states) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} rng states, "
+                             f"got {len(states)}")
+        for env, state in zip(self.envs, states):
+            env.set_rng_state(state)
+
+    # ------------------------------------------------------------------
     def metrics(self) -> MetricSnapshot:
         """Batched reduction: mean of every replica's current metrics."""
         return MetricSnapshot.mean(env.metrics() for env in self.envs)

@@ -1,0 +1,494 @@
+"""Full-training-state checkpoints with deterministic resume.
+
+The invariant this subsystem enforces is **resume ≡ uninterrupted**: a
+run killed at iteration *i* and resumed from its checkpoint reproduces
+the uninterrupted run's trajectories, losses and telemetry bit-for-bit.
+That requires capturing *everything* the training loop consumes:
+
+* every policy's parameters (and, for MADDPG, target networks),
+* optimiser state — Adam step counts and first/second moments,
+* every rng stream: the trainer's sampling stream, the env's stream and
+  each vec-env replica's stream (whose positions encode the
+  ``replica_seed`` striding *and* the unseeded auto-reset continuations),
+* the global iteration counter and schedule state, and
+* the telemetry JSONL cursor, so a resumed run rewrites exactly the
+  records the interrupted run would have written after the save point.
+
+On-disk format (one directory per checkpoint)::
+
+    <run-dir>/
+        latest                  # pointer: name of the newest checkpoint
+        iter_000010/
+            state.npz           # all array leaves, path-keyed
+            manifest.json       # schema version, fingerprints, counters,
+                                # and the JSON tree with array references
+
+Writes are atomic (temp file + fsync + rename; the checkpoint directory
+itself is staged and renamed into place), so a crash mid-save can never
+corrupt the latest resumable state.  ``load_training_checkpoint``
+validates the manifest (schema version, config fingerprint) before
+touching the agent, and parameter states are additionally diffed against
+``named_parameters()`` upfront by the agents' ``load_state_dict``.
+
+Retention keeps the last *k* periodic checkpoints plus the
+best-by-``λ`` (collection efficiency) one.  :class:`GracefulInterrupt`
+turns SIGINT/SIGTERM into "finish the in-flight iteration, save, exit
+with :data:`RESUME_EXIT_CODE`" — the CI interrupt-and-resume gate drives
+exactly this path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import time
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.serialize import atomic_savez, atomic_write_bytes
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RESUME_EXIT_CODE",
+    "CheckpointError",
+    "TrainingInterrupted",
+    "GracefulInterrupt",
+    "TrainingCheckpointer",
+    "flatten_state",
+    "unflatten_state",
+    "config_fingerprint",
+    "code_hashes",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_manifest",
+    "load_training_checkpoint",
+    "find_latest",
+]
+
+SCHEMA_VERSION = 1
+
+# Exit status of a run that was interrupted, saved a resume-ready
+# checkpoint and shut down cleanly (EX_TEMPFAIL: "try again later").
+RESUME_EXIT_CODE = 75
+
+_ARRAY_REF = "__array__"
+_LATEST_FILE = "latest"
+_MANIFEST_FILE = "manifest.json"
+_STATE_FILE = "state.npz"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint failed manifest validation (schema/fingerprint)."""
+
+
+class TrainingInterrupted(Exception):
+    """Raised after an interrupt-triggered save: the run is resumable.
+
+    Carries where the resume-ready state lives and how far training got;
+    the CLI converts this into :data:`RESUME_EXIT_CODE`.
+    """
+
+    def __init__(self, checkpoint_path: Path, iterations_completed: int,
+                 signal_name: str):
+        self.checkpoint_path = Path(checkpoint_path)
+        self.iterations_completed = iterations_completed
+        self.signal_name = signal_name
+        super().__init__(
+            f"training interrupted by {signal_name} after iteration "
+            f"{iterations_completed - 1}; resume-ready checkpoint at "
+            f"{checkpoint_path}")
+
+
+# ----------------------------------------------------------------------
+# State tree <-> (arrays, JSON) flattening
+# ----------------------------------------------------------------------
+
+def flatten_state(state: dict) -> tuple[dict[str, np.ndarray], dict]:
+    """Split a nested state tree into array leaves + a JSON-able mirror.
+
+    Array leaves are collected under ``/``-joined path keys; the returned
+    JSON tree holds ``{"__array__": <key>}`` references in their place,
+    with numpy scalars coerced to built-ins.
+    """
+    arrays: dict[str, np.ndarray] = {}
+
+    def walk(node, path: str):
+        if isinstance(node, np.ndarray):
+            arrays[path] = node
+            return {_ARRAY_REF: path}
+        if isinstance(node, dict):
+            out = {}
+            for key, value in node.items():
+                if not isinstance(key, str):
+                    raise TypeError(f"state keys must be strings, got {key!r}")
+                out[key] = walk(value, f"{path}/{key}" if path else key)
+            return out
+        if isinstance(node, (list, tuple)):
+            return [walk(v, f"{path}/{i}") for i, v in enumerate(node)]
+        if isinstance(node, np.integer):
+            return int(node)
+        if isinstance(node, np.floating):
+            return float(node)
+        if isinstance(node, np.bool_):
+            return bool(node)
+        return node
+
+    return arrays, walk(state, "")
+
+
+def unflatten_state(jsonable: dict, arrays: dict[str, np.ndarray]) -> dict:
+    """Inverse of :func:`flatten_state`."""
+
+    def walk(node):
+        if isinstance(node, dict):
+            if set(node) == {_ARRAY_REF}:
+                return arrays[node[_ARRAY_REF]]
+            return {k: walk(v) for k, v in node.items()}
+        if isinstance(node, list):
+            return [walk(v) for v in node]
+        return node
+
+    return walk(jsonable)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def config_fingerprint(*parts) -> str:
+    """Stable digest of run-defining configuration.
+
+    Accepts dataclasses, dicts and plain scalars; the resume path
+    compares this against the manifest so a checkpoint can never be
+    silently resumed under different hyperparameters.
+    """
+
+    def jsonify(obj):
+        if is_dataclass(obj) and not isinstance(obj, type):
+            return jsonify(asdict(obj))
+        if isinstance(obj, dict):
+            return {str(k): jsonify(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+        if isinstance(obj, (list, tuple)):
+            return [jsonify(v) for v in obj]
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        return obj
+
+    blob = json.dumps([jsonify(p) for p in parts], sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def code_hashes() -> dict[str, str]:
+    """Digest of the ``repro`` package sources, recorded in the manifest.
+
+    A mismatch on load is reported as a warning (not an error): resuming
+    under changed code is legitimate, but the operator should know the
+    bit-for-bit guarantee no longer formally holds.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.relative_to(package_root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return {"repro": digest.hexdigest()[:16]}
+
+
+# ----------------------------------------------------------------------
+# Reading / writing one checkpoint directory
+# ----------------------------------------------------------------------
+
+def write_checkpoint(directory: str | Path, state: dict,
+                     manifest: dict | None = None) -> Path:
+    """Write a full-state checkpoint directory atomically.
+
+    The directory is staged under a dotted temp name and renamed into
+    place, so observers (and crashes) only ever see complete
+    checkpoints.
+    """
+    directory = Path(directory)
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    staging = directory.parent / f".{directory.name}.staging"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        arrays, jsonable = flatten_state(state)
+        atomic_savez(staging / _STATE_FILE, arrays)
+        full_manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "code_hashes": code_hashes(),
+            **(manifest or {}),
+            "state": jsonable,
+        }
+        atomic_write_bytes(staging / _MANIFEST_FILE,
+                           json.dumps(full_manifest, indent=1).encode("utf-8"))
+        if directory.exists():
+            old = directory.parent / f".{directory.name}.old"
+            if old.exists():
+                shutil.rmtree(old)
+            os.replace(directory, old)
+            os.replace(staging, directory)
+            shutil.rmtree(old)
+        else:
+            os.replace(staging, directory)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return directory
+
+
+def read_manifest(directory: str | Path) -> dict:
+    """Load and schema-check a checkpoint's sidecar manifest."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST_FILE
+    if not manifest_path.exists():
+        raise CheckpointError(f"no checkpoint manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {directory} has schema version {version!r}; this "
+            f"build reads version {SCHEMA_VERSION}")
+    return manifest
+
+
+def read_checkpoint(directory: str | Path) -> tuple[dict, dict]:
+    """Load a checkpoint directory; returns ``(state, manifest)``."""
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    with np.load(directory / _STATE_FILE) as data:
+        arrays = {key: data[key] for key in data.files}
+    state = unflatten_state(manifest["state"], arrays)
+    return state, manifest
+
+
+def load_training_checkpoint(directory: str | Path, agent,
+                             expect_fingerprint: str | None = None) -> dict:
+    """Validate + load a checkpoint into ``agent``; returns the manifest.
+
+    ``expect_fingerprint`` (from :func:`config_fingerprint` over the
+    resuming run's configuration) must match the manifest's, so resuming
+    under different hyperparameters fails loudly before any state moves.
+    A code-hash drift is reported as a warning only.
+    """
+    import sys
+
+    directory = Path(directory)
+    state, manifest = read_checkpoint(directory)
+    stored = manifest.get("config_fingerprint")
+    if expect_fingerprint is not None and stored is not None and stored != expect_fingerprint:
+        raise CheckpointError(
+            f"checkpoint {directory} was written under config fingerprint "
+            f"{stored}, but this run's configuration fingerprints to "
+            f"{expect_fingerprint}; refusing to resume under different "
+            f"hyperparameters")
+    current_hashes = code_hashes()
+    if manifest.get("code_hashes") not in (None, current_hashes):
+        print(f"warning: checkpoint {directory} was written by different "
+              f"code ({manifest['code_hashes']} vs {current_hashes}); "
+              f"resume determinism is no longer guaranteed", file=sys.stderr)
+    agent.load_state_dict(state)
+    return manifest
+
+
+def find_latest(run_dir: str | Path) -> Path:
+    """Resolve the newest checkpoint in a run directory.
+
+    Follows the ``latest`` pointer when present (it is updated after
+    every successful save), falling back to the highest-numbered
+    ``iter_*`` directory.
+    """
+    run_dir = Path(run_dir)
+    pointer = run_dir / _LATEST_FILE
+    if pointer.exists():
+        candidate = run_dir / pointer.read_text().strip()
+        if (candidate / _MANIFEST_FILE).exists():
+            return candidate
+    candidates = sorted(p for p in run_dir.glob("iter_*")
+                        if (p / _MANIFEST_FILE).exists())
+    if not candidates:
+        raise CheckpointError(f"no resumable checkpoint found in {run_dir}")
+    return candidates[-1]
+
+
+# ----------------------------------------------------------------------
+# Signal handling
+# ----------------------------------------------------------------------
+
+class GracefulInterrupt:
+    """Context manager turning SIGINT/SIGTERM into a polite flag.
+
+    The first signal sets :attr:`triggered`; the training callback
+    checks it after each completed iteration, saves and raises
+    :class:`TrainingInterrupted`.  A second signal aborts immediately
+    (``KeyboardInterrupt``) for operators who really mean it.
+    """
+
+    def __init__(self, signals=(signal.SIGINT, signal.SIGTERM)):
+        self.signals = tuple(signals)
+        self.triggered: str | None = None
+        self._previous: dict = {}
+        self.installed = False
+
+    def __enter__(self) -> "GracefulInterrupt":
+        try:
+            for sig in self.signals:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            self.installed = True
+        except ValueError:
+            # Not the main thread: degrade to a plain (never-set) flag.
+            self._previous.clear()
+        return self
+
+    def _handle(self, signum, frame) -> None:
+        if self.triggered is not None:
+            raise KeyboardInterrupt
+        self.triggered = signal.Signals(signum).name
+
+    def __exit__(self, *exc) -> bool:
+        for sig, previous in self._previous.items():
+            signal.signal(sig, previous)
+        self._previous.clear()
+        self.installed = False
+        return False
+
+
+# ----------------------------------------------------------------------
+# Periodic saving + retention
+# ----------------------------------------------------------------------
+
+class TrainingCheckpointer:
+    """Train-loop callback: periodic full-state saves with retention.
+
+    Saves every ``save_every`` completed iterations (and at the final
+    iteration, and immediately when ``interrupt`` has triggered), keeps
+    the last ``keep_last`` periodic checkpoints plus the best one by
+    ``metric`` (λ, collection efficiency, by default), and maintains the
+    ``latest`` pointer.  On construction it rescans the run directory,
+    so retention and best-tracking continue correctly across resumes.
+
+    Chain it *after* the telemetry logger so the recorded
+    ``telemetry_cursor`` includes the current iteration's record.
+    """
+
+    def __init__(self, run_dir: str | Path, agent, *,
+                 total_iterations: int, save_every: int = 10,
+                 keep_last: int = 3, metric: str = "efficiency",
+                 config_fingerprint: str | None = None,
+                 manifest_extra: dict | None = None,
+                 telemetry=None,
+                 interrupt: GracefulInterrupt | None = None):
+        if save_every < 1 or keep_last < 1:
+            raise ValueError("save_every and keep_last must be >= 1")
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.agent = agent
+        self.total_iterations = int(total_iterations)
+        self.save_every = int(save_every)
+        self.keep_last = int(keep_last)
+        self.metric = metric
+        self.config_fingerprint = config_fingerprint
+        self.manifest_extra = dict(manifest_extra or {})
+        self.telemetry = telemetry
+        self.interrupt = interrupt
+        self.last_saved: Path | None = None
+        self.best_path: Path | None = None
+        self.best_value = -float("inf")
+        self._saved: list[Path] = []
+        self._rescan()
+
+    # ------------------------------------------------------------------
+    def _rescan(self) -> None:
+        """Adopt checkpoints already on disk (the resume case)."""
+        for path in sorted(self.run_dir.glob("iter_*")):
+            if not (path / _MANIFEST_FILE).exists():
+                continue
+            self._saved.append(path)
+            try:
+                manifest = read_manifest(path)
+            except CheckpointError:
+                continue
+            value = manifest.get("metric_value")
+            if isinstance(value, (int, float)) and value > self.best_value:
+                self.best_value = float(value)
+                self.best_path = path
+        if self._saved:
+            self.last_saved = self._saved[-1]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_fields(record) -> tuple[int, dict]:
+        if hasattr(record, "metrics"):
+            return int(record.iteration), dict(record.metrics)
+        return int(record.get("iteration", 0)), dict(record.get("metrics", {}))
+
+    def __call__(self, record) -> None:
+        iteration, metrics = self._record_fields(record)
+        completed = iteration + 1
+        interrupted = self.interrupt is not None and self.interrupt.triggered
+        due = (completed % self.save_every == 0
+               or completed >= self.total_iterations)
+        if due or interrupted:
+            self.save(completed, metrics)
+        if interrupted:
+            raise TrainingInterrupted(self.last_saved, completed,
+                                      self.interrupt.triggered)
+
+    # ------------------------------------------------------------------
+    def save(self, iterations_completed: int, metrics: dict | None = None) -> Path:
+        """Write ``iter_NNNNNN`` now; update pointer, best and retention."""
+        metrics = metrics or {}
+        value = metrics.get(self.metric)
+        cursor = (self.telemetry.count if self.telemetry is not None
+                  else iterations_completed)
+        path = self.run_dir / f"iter_{iterations_completed:06d}"
+        manifest = {
+            "iterations_completed": iterations_completed,
+            "total_iterations": self.total_iterations,
+            "telemetry_cursor": int(cursor),
+            "config_fingerprint": self.config_fingerprint,
+            "best_metric": self.metric,
+            "metric_value": value,
+            **self.manifest_extra,
+        }
+        write_checkpoint(path, self.agent.state_dict(), manifest)
+        if path not in self._saved:
+            self._saved.append(path)
+        self.last_saved = path
+        atomic_write_bytes(self.run_dir / _LATEST_FILE,
+                           (path.name + "\n").encode())
+        if isinstance(value, (int, float)) and value > self.best_value:
+            self.best_value = float(value)
+            self.best_path = path
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        """Keep the last ``keep_last`` periodic checkpoints + the best.
+
+        The best-by-metric checkpoint is retained whatever its age (it
+        does not count against ``keep_last``); so is the newest one (it
+        backs the ``latest`` pointer).
+        """
+        periodic = [p for p in self._saved if p != self.best_path]
+        excess = len(periodic) - self.keep_last
+        for path in periodic:
+            if excess <= 0:
+                break
+            if path == self.last_saved:
+                continue
+            shutil.rmtree(path, ignore_errors=True)
+            self._saved.remove(path)
+            excess -= 1
+
+    def available(self) -> list[Path]:
+        """Checkpoints currently on disk (oldest first)."""
+        return list(self._saved)

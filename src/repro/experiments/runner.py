@@ -5,6 +5,7 @@ from __future__ import annotations
 import inspect
 import time
 import zlib
+from pathlib import Path
 
 import numpy as np
 
@@ -14,11 +15,19 @@ from ..env.airground import AirGroundEnv
 from ..env.vector import replica_seed
 from ..maps.campus import CampusMap, build_campus
 from ..maps.stop_graph import StopGraph, build_stop_graph
+from .checkpoint import (
+    GracefulInterrupt,
+    TrainingCheckpointer,
+    config_fingerprint,
+    find_latest,
+    load_training_checkpoint,
+)
 from .presets import ScalePreset, get_preset
 from .records import ResultRecord
+from .telemetry import TrainingLogger
 
-__all__ = ["run_method", "build_env", "campus_cache_clear", "get_campus",
-           "method_seed", "replica_seed"]
+__all__ = ["run_method", "run_training", "build_env", "campus_cache_clear",
+           "get_campus", "method_seed", "replica_seed"]
 
 # Campus construction is deterministic but not free; cache per (name, scale).
 _CAMPUS_CACHE: dict[tuple[str, float], tuple[CampusMap, StopGraph]] = {}
@@ -94,3 +103,114 @@ def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke
         metrics=snapshot.as_dict(), seed=seed, preset=preset_obj.name,
         extra={"train_seconds": round(train_seconds, 3),
                "eval_seconds": round(eval_seconds, 3)})
+
+
+def run_training(method: str, campus_name: str,
+                 preset: str | ScalePreset = "smoke",
+                 num_ugvs: int = 4, num_uavs_per_ugv: int = 2, seed: int = 0,
+                 garl_config: GARLConfig | None = None,
+                 train_iterations: int | None = None, num_envs: int = 1,
+                 checkpoint_dir: str | Path | None = None,
+                 save_every: int = 10, keep_last: int = 3,
+                 resume: str | Path | None = None,
+                 handle_signals: bool = True) -> tuple[ResultRecord, object]:
+    """Fault-tolerant variant of :func:`run_method`.
+
+    Identical seeding and training flow — without checkpoint options it
+    produces exactly :func:`run_method`'s result — plus:
+
+    * ``checkpoint_dir``: write full-training-state checkpoints (every
+      ``save_every`` iterations, last-``keep_last`` + best-by-λ
+      retention) and per-iteration telemetry to ``train.jsonl`` in that
+      directory.
+    * ``resume``: ``"latest"`` (resolve via the run directory's pointer)
+      or a path to a specific checkpoint; the manifest's config
+      fingerprint must match this invocation's configuration.  The
+      telemetry log is rewound to the checkpoint's cursor, so the
+      resumed file ends up bit-for-bit identical to an uninterrupted
+      run's.
+    * graceful SIGINT/SIGTERM: the in-flight iteration finishes, a
+      resume-ready checkpoint is saved, and
+      :class:`~repro.experiments.checkpoint.TrainingInterrupted`
+      propagates (the CLI turns it into exit code
+      :data:`~repro.experiments.checkpoint.RESUME_EXIT_CODE`).
+
+    Returns ``(record, agent)`` so callers can persist or further
+    inspect the trained agent without retraining.
+    """
+    preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
+    config = (garl_config or preset_obj.garl_config()).replace(
+        seed=method_seed(method, seed))
+    agent = make_agent(method, env, config)
+
+    total = (train_iterations if train_iterations is not None
+             else preset_obj.train_iterations)
+    fingerprint = config_fingerprint(
+        {"method": method, "campus": campus_name, "preset": preset_obj.name,
+         "num_ugvs": num_ugvs, "num_uavs_per_ugv": num_uavs_per_ugv,
+         "seed": seed, "num_envs": num_envs, "total_iterations": total},
+        config)
+
+    checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+    telemetry = (TrainingLogger(checkpoint_dir / "train.jsonl")
+                 if checkpoint_dir is not None else None)
+
+    iterations_done = 0
+    if resume is not None:
+        if checkpoint_dir is None:
+            raise ValueError("--resume requires a checkpoint directory")
+        path = (find_latest(checkpoint_dir) if str(resume) == "latest"
+                else Path(resume))
+        manifest = load_training_checkpoint(path, agent,
+                                            expect_fingerprint=fingerprint)
+        iterations_done = int(manifest["iterations_completed"])
+        telemetry.rewind(int(manifest["telemetry_cursor"]))
+
+    sig = inspect.signature(agent.train).parameters
+    train_kwargs = {}
+    if num_envs > 1 and "num_envs" in sig:
+        train_kwargs["num_envs"] = num_envs
+    if "total_iterations" in sig:
+        train_kwargs["total_iterations"] = total
+
+    interrupt = GracefulInterrupt() if (handle_signals and checkpoint_dir
+                                        is not None) else None
+    checkpointer = None
+    if checkpoint_dir is not None:
+        checkpointer = TrainingCheckpointer(
+            checkpoint_dir, agent, total_iterations=total,
+            save_every=save_every, keep_last=keep_last,
+            config_fingerprint=fingerprint,
+            manifest_extra={"method": method, "campus": campus_name,
+                            "preset": preset_obj.name, "seed": seed,
+                            "num_envs": num_envs},
+            telemetry=telemetry, interrupt=interrupt)
+
+    def callback(record) -> None:
+        if telemetry is not None:
+            telemetry(record)
+        if checkpointer is not None:
+            checkpointer(record)  # may raise TrainingInterrupted
+
+    from contextlib import nullcontext
+
+    t_train = time.perf_counter()
+    with (interrupt if interrupt is not None else nullcontext()):
+        agent.train(total - iterations_done, preset_obj.episodes_per_iteration,
+                    callback=callback if "callback" in sig else None,
+                    **train_kwargs)
+    train_seconds = time.perf_counter() - t_train
+
+    t_eval = time.perf_counter()
+    snapshot = agent.evaluate(episodes=preset_obj.eval_episodes, greedy=False)
+    eval_seconds = time.perf_counter() - t_eval
+
+    record = ResultRecord(
+        method=method, campus=campus_name,
+        num_ugvs=num_ugvs, num_uavs_per_ugv=num_uavs_per_ugv,
+        metrics=snapshot.as_dict(), seed=seed, preset=preset_obj.name,
+        extra={"train_seconds": round(train_seconds, 3),
+               "eval_seconds": round(eval_seconds, 3),
+               "resumed_from_iteration": iterations_done})
+    return record, agent

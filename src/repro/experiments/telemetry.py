@@ -97,6 +97,45 @@ class TrainingLogger:
             raise KeyError(f"no telemetry recorded for metric {metric!r}")
         return self._averages[metric].value
 
+    def rewind(self, count: int) -> int:
+        """Truncate the log to its first ``count`` records (resume path).
+
+        A run that crashed *after* a checkpoint may have appended records
+        the resumed run will re-produce; cutting the log back to the
+        checkpoint's telemetry cursor keeps the resumed file bit-for-bit
+        identical to an uninterrupted run's.  Raw JSONL lines are kept
+        verbatim (no re-serialisation); the CSV mirror, when present, is
+        truncated to the same records; moving averages are rebuilt from
+        the surviving tail.  Returns the number of records kept.
+        """
+        from ..nn.serialize import atomic_write_bytes
+
+        count = max(0, int(count))
+        lines: list[str] = []
+        if self.jsonl_path.exists():
+            with open(self.jsonl_path) as fh:
+                lines = [line for line in fh if line.strip()]
+        if count > len(lines):
+            raise ValueError(
+                f"telemetry cursor {count} is beyond the {len(lines)} "
+                f"records in {self.jsonl_path}")
+        kept = lines[:count]
+        atomic_write_bytes(self.jsonl_path, "".join(kept).encode("utf-8"))
+        if self.csv_path is not None and self.csv_path.exists():
+            with open(self.csv_path, newline="") as fh:
+                csv_lines = fh.readlines()
+            atomic_write_bytes(self.csv_path,
+                               "".join(csv_lines[:count + 1]).encode("utf-8"))
+        self._averages = {}
+        for line in kept[-self.window:]:
+            payload = json.loads(line)
+            for key, value in payload.items():
+                if key.startswith("metric_") and isinstance(value, (int, float)):
+                    name = key[len("metric_"):]
+                    self._averages.setdefault(name, MovingAverage(self.window)).update(value)
+        self.count = count
+        return count
+
 
 def read_jsonl_log(path: str | Path) -> list[dict]:
     """Load a JSONL training log back into memory."""

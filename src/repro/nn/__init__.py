@@ -33,7 +33,17 @@ from .layers import (
 )
 from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
 from .recurrent import GRUCell, LSTMCell
-from .serialize import load_checkpoint, save_checkpoint
+from .serialize import (
+    CheckpointMismatchError,
+    atomic_savez,
+    atomic_write_bytes,
+    load_checkpoint,
+    rng_from_state,
+    rng_state,
+    save_checkpoint,
+    set_rng_state,
+    validate_state_dict,
+)
 from .tensor import Tensor, as_tensor, enable_grad, is_grad_enabled, no_grad
 from .tracer import TapeRecord, active_trace, is_tracing, trace
 
@@ -83,4 +93,11 @@ __all__ = [
     "clip_grad_norm",
     "save_checkpoint",
     "load_checkpoint",
+    "validate_state_dict",
+    "CheckpointMismatchError",
+    "atomic_savez",
+    "atomic_write_bytes",
+    "rng_state",
+    "rng_from_state",
+    "set_rng_state",
 ]

@@ -12,7 +12,18 @@ __all__ = ["Optimizer", "SGD", "Adam", "RMSProp", "clip_grad_norm"]
 
 
 class Optimizer:
-    """Base optimiser over a fixed list of parameters."""
+    """Base optimiser over a fixed list of parameters.
+
+    All optimisers support full-state (de)serialisation via
+    :meth:`state_dict` / :meth:`load_state_dict`: scalar hyper-state
+    (step counts, lr) plus every per-parameter slot array, keyed by the
+    parameter's position — enough to make a resumed update sequence
+    bit-identical to an uninterrupted one.
+    """
+
+    # Names of per-parameter slot-array lists (aligned with self.params)
+    # that subclasses persist in their state dict.
+    _slot_names: tuple[str, ...] = ()
 
     def __init__(self, params: Iterable[Parameter], lr: float):
         self.params = list(params)
@@ -35,14 +46,62 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- (de)serialisation ----------------------------------------------
+    def _scalar_state(self) -> dict:
+        """Scalar (JSON-able) state; subclasses extend."""
+        return {"lr": float(self.lr)}
+
+    def _load_scalar_state(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+
+    def state_dict(self) -> dict:
+        """Full optimiser state: scalars + per-parameter slot arrays."""
+        state: dict = dict(self._scalar_state())
+        for slot in self._slot_names:
+            arrays = getattr(self, slot)
+            for i, arr in enumerate(arrays):
+                state[f"{slot}.{i}"] = arr.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Slot arrays are validated against the parameter list (count and
+        shape) before anything is mutated.
+        """
+        for slot in self._slot_names:
+            for i, p in enumerate(self.params):
+                key = f"{slot}.{i}"
+                if key not in state:
+                    raise KeyError(f"optimizer state missing slot {key!r}")
+                arr = np.asarray(state[key])
+                if arr.shape != p.data.shape:
+                    raise ValueError(
+                        f"optimizer slot {key!r} has shape {arr.shape}, "
+                        f"parameter has shape {p.data.shape}")
+        self._load_scalar_state(state)
+        for slot in self._slot_names:
+            arrays = getattr(self, slot)
+            for i in range(len(self.params)):
+                arrays[i] = np.asarray(state[f"{slot}.{i}"], dtype=float).copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
+
+    _slot_names = ("_velocity",)
 
     def __init__(self, params: Iterable[Parameter], lr: float = 1e-2, momentum: float = 0.0):
         super().__init__(params, lr)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _scalar_state(self) -> dict:
+        return {**super()._scalar_state(), "momentum": float(self.momentum)}
+
+    def _load_scalar_state(self, state: dict) -> None:
+        super()._load_scalar_state(state)
+        self.momentum = float(state["momentum"])
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
@@ -60,6 +119,8 @@ class SGD(Optimizer):
 class Adam(Optimizer):
     """Adam (Kingma & Ba) — the optimiser used by PPO implementations."""
 
+    _slot_names = ("_m", "_v")
+
     def __init__(self, params: Iterable[Parameter], lr: float = 3e-4,
                  betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
                  weight_decay: float = 0.0):
@@ -70,6 +131,19 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+
+    def _scalar_state(self) -> dict:
+        return {**super()._scalar_state(), "t": int(self._t),
+                "beta1": float(self.beta1), "beta2": float(self.beta2),
+                "eps": float(self.eps), "weight_decay": float(self.weight_decay)}
+
+    def _load_scalar_state(self, state: dict) -> None:
+        super()._load_scalar_state(state)
+        self._t = int(state["t"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
 
     def step(self) -> None:
         self._t += 1
@@ -94,12 +168,23 @@ class Adam(Optimizer):
 class RMSProp(Optimizer):
     """RMSProp, used by the MADDPG baseline's critics in some variants."""
 
+    _slot_names = ("_sq",)
+
     def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
                  alpha: float = 0.99, eps: float = 1e-8):
         super().__init__(params, lr)
         self.alpha = alpha
         self.eps = eps
         self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def _scalar_state(self) -> dict:
+        return {**super()._scalar_state(), "alpha": float(self.alpha),
+                "eps": float(self.eps)}
+
+    def _load_scalar_state(self, state: dict) -> None:
+        super()._load_scalar_state(state)
+        self.alpha = float(state["alpha"])
+        self.eps = float(state["eps"])
 
     def step(self) -> None:
         for p, sq in zip(self.params, self._sq):

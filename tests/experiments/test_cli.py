@@ -90,3 +90,36 @@ class TestMethodSeed:
         from repro.experiments import method_seed
 
         assert method_seed("garl", 3) == method_seed("garl", 3)
+
+
+class TestCheckpointFlags:
+    def test_parser_accepts_checkpoint_options(self):
+        args = build_parser().parse_args(
+            ["train", "garl", "--checkpoint-dir", "/tmp/run",
+             "--save-every", "5", "--keep-last", "2", "--resume", "latest"])
+        assert args.checkpoint_dir == "/tmp/run"
+        assert args.save_every == 5
+        assert args.keep_last == 2
+        assert args.resume == "latest"
+
+    def test_checkpoint_defaults(self):
+        args = build_parser().parse_args(["train", "garl"])
+        assert args.checkpoint_dir is None
+        assert args.save_every == 10
+        assert args.keep_last == 3
+        assert args.resume is None
+
+    def test_train_writes_checkpoints_and_telemetry(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main(["train", "garl", "--iterations", "2",
+                     "--ugvs", "2", "--uavs", "1",
+                     "--checkpoint-dir", str(run_dir), "--save-every", "1"])
+        assert code == 0
+        assert (run_dir / "train.jsonl").exists()
+        assert (run_dir / "latest").exists()
+        latest = run_dir / (run_dir / "latest").read_text().strip()
+        assert (latest / "manifest.json").exists()
+
+    def test_resume_without_checkpoint_dir_fails(self):
+        with pytest.raises(ValueError, match="resume"):
+            main(["train", "random", "--iterations", "1", "--resume", "latest"])

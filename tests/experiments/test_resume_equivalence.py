@@ -1,0 +1,125 @@
+"""resume ≡ uninterrupted: kill-at-every-iteration equivalence tests.
+
+These run the *real* interruption machinery end-to-end: a genuine
+SIGTERM is delivered to the process at a chosen iteration boundary,
+:class:`GracefulInterrupt` converts it into a save-and-raise, and a
+second :func:`run_training` call resumes from the checkpoint.  For every
+possible kill point of the smoke preset — sequential and K=4 vectorized
+collection — the resumed run's telemetry must be byte-identical to the
+uninterrupted control's, and the final evaluation must agree exactly.
+"""
+
+import os
+import signal
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.experiments import TrainingInterrupted, get_preset, run_training
+from repro.experiments.telemetry import TrainingLogger
+
+SMOKE = get_preset("smoke")
+ITERATIONS = SMOKE.train_iterations  # 3: kill points are 1 .. ITERATIONS-1
+
+# Smallest coalition keeps each smoke iteration fast; all checkpointed
+# state paths (vec replicas included) are still exercised.
+RUN_KWARGS = dict(num_ugvs=2, num_uavs_per_ugv=1, seed=0)
+
+
+class _KillAfter(TrainingLogger):
+    """TrainingLogger that SIGTERMs the process after record ``kill_at``.
+
+    The signal lands inside the training callback chain — exactly where
+    a real operator's Ctrl-C would — so the checkpointer's
+    graceful-interrupt path (finish iteration, save, raise) runs for
+    real rather than being simulated.
+    """
+
+    kill_at: int | None = None
+
+    def __call__(self, record) -> None:
+        super().__call__(record)
+        if self.kill_at is not None and self.count == self.kill_at:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _run(tmp_path, name, *, num_envs, resume=None, kill_at=None, monkeypatch=None):
+    """One run_training invocation against ``tmp_path/name``."""
+    if kill_at is not None:
+        assert monkeypatch is not None
+        logger = type("KillLogger", (_KillAfter,), {"kill_at": kill_at})
+        monkeypatch.setattr(runner_module, "TrainingLogger", logger)
+    try:
+        return run_training("garl", "kaist", SMOKE, num_envs=num_envs,
+                            checkpoint_dir=tmp_path / name, save_every=1,
+                            resume=resume, **RUN_KWARGS)
+    finally:
+        if kill_at is not None:
+            monkeypatch.setattr(runner_module, "TrainingLogger", TrainingLogger)
+
+
+def _telemetry_bytes(tmp_path, name) -> bytes:
+    return (tmp_path / name / "train.jsonl").read_bytes()
+
+
+@pytest.fixture(scope="module")
+def control(tmp_path_factory):
+    """One uninterrupted smoke run per collection mode (the reference)."""
+    tmp = tmp_path_factory.mktemp("control")
+    out = {}
+    for num_envs in (1, 4):
+        record, _ = _run(tmp, f"seq{num_envs}", num_envs=num_envs)
+        out[num_envs] = (record, _telemetry_bytes(tmp, f"seq{num_envs}"))
+    return out
+
+
+@pytest.mark.parametrize("num_envs", [1, 4],
+                         ids=["sequential", "vectorized-k4"])
+@pytest.mark.parametrize("kill_at", range(1, ITERATIONS))
+def test_kill_at_every_iteration_resumes_bit_for_bit(
+        tmp_path, monkeypatch, control, num_envs, kill_at):
+    name = f"killed_{num_envs}_{kill_at}"
+
+    with pytest.raises(TrainingInterrupted) as excinfo:
+        _run(tmp_path, name, num_envs=num_envs, kill_at=kill_at,
+             monkeypatch=monkeypatch)
+    interrupted = excinfo.value
+    assert interrupted.iterations_completed == kill_at
+    assert interrupted.signal_name == "SIGTERM"
+    assert interrupted.checkpoint_path.exists()
+    # The interrupted run logged exactly the iterations it completed.
+    partial = _telemetry_bytes(tmp_path, name)
+    control_record, control_bytes = control[num_envs]
+    assert control_bytes.startswith(partial)
+    assert partial != control_bytes
+
+    record, _ = _run(tmp_path, name, num_envs=num_envs, resume="latest")
+
+    assert _telemetry_bytes(tmp_path, name) == control_bytes
+    assert record.metrics == control_record.metrics
+    assert record.extra["resumed_from_iteration"] == kill_at
+
+
+@pytest.mark.parametrize("num_envs", [1, 4],
+                         ids=["sequential", "vectorized-k4"])
+def test_resume_after_completion_is_a_no_op_with_identical_eval(
+        tmp_path, control, num_envs):
+    """Resuming a finished run trains zero iterations, evaluates the same."""
+    name = f"done_{num_envs}"
+    _run(tmp_path, name, num_envs=num_envs)
+    control_record, control_bytes = control[num_envs]
+    record, _ = _run(tmp_path, name, num_envs=num_envs, resume="latest")
+    assert record.extra["resumed_from_iteration"] == ITERATIONS
+    assert record.metrics == control_record.metrics
+    assert _telemetry_bytes(tmp_path, name) == control_bytes
+
+
+def test_resume_under_different_config_is_refused(tmp_path):
+    from repro.experiments import CheckpointError
+
+    _run(tmp_path, "fp", num_envs=1)
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        run_training("garl", "kaist", SMOKE, num_envs=1,
+                     checkpoint_dir=tmp_path / "fp", save_every=1,
+                     resume="latest", num_ugvs=2, num_uavs_per_ugv=1,
+                     seed=1)  # different seed → different fingerprint

@@ -3,7 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.nn import MLP, Tensor, load_checkpoint, save_checkpoint
+from repro.nn import (
+    MLP,
+    CheckpointMismatchError,
+    Tensor,
+    atomic_savez,
+    atomic_write_bytes,
+    load_checkpoint,
+    save_checkpoint,
+    validate_state_dict,
+)
 
 
 def test_round_trip_preserves_parameters(tmp_path):
@@ -41,3 +50,86 @@ def test_load_into_wrong_architecture_raises(tmp_path):
     path = save_checkpoint(a, tmp_path / "m.npz")
     with pytest.raises(ValueError):
         load_checkpoint(wrong, path)
+
+
+# ----------------------------------------------------------------------
+# Upfront validation diagnostics (CheckpointMismatchError)
+# ----------------------------------------------------------------------
+
+def test_mismatch_error_lists_every_problem():
+    """One load attempt → one complete diagnosis, not first-key-wins."""
+    model = MLP([3, 4, 2], rng=np.random.default_rng(0))
+    state = model.state_dict()
+    names = sorted(state)
+    dropped = names[0]
+    state.pop(dropped)                       # missing
+    state["not.a.param"] = np.zeros(3)       # unexpected
+    state[names[1]] = np.zeros((9, 9))       # shape mismatch
+
+    with pytest.raises(CheckpointMismatchError) as excinfo:
+        validate_state_dict(model, state, context="unit-test")
+    err = excinfo.value
+    assert err.missing == [dropped]
+    assert err.unexpected == ["not.a.param"]
+    assert len(err.mismatched) == 1 and names[1] in err.mismatched[0]
+    message = str(err)
+    for fragment in ("unit-test", "missing keys (1)", "unexpected keys (1)",
+                     "mismatched keys (1)", dropped, "not.a.param"):
+        assert fragment in message
+
+
+def test_mismatch_error_flags_uncastable_dtype():
+    model = MLP([2, 2], rng=np.random.default_rng(0))
+    state = model.state_dict()
+    key = sorted(state)[0]
+    state[key] = state[key].astype(np.complex128)
+    with pytest.raises(CheckpointMismatchError) as excinfo:
+        validate_state_dict(model, state)
+    assert any("dtype" in m for m in excinfo.value.mismatched)
+
+
+def test_failed_load_leaves_module_untouched(tmp_path):
+    a = MLP([3, 8, 2], rng=np.random.default_rng(0))
+    wrong = MLP([3, 4, 2], rng=np.random.default_rng(5))
+    before = {k: v.copy() for k, v in wrong.state_dict().items()}
+    path = save_checkpoint(a, tmp_path / "m.npz")
+    with pytest.raises(CheckpointMismatchError):
+        load_checkpoint(wrong, path)
+    for key, value in wrong.state_dict().items():
+        np.testing.assert_array_equal(value, before[key])
+
+
+def test_validate_accepts_exact_match():
+    model = MLP([3, 4, 2], rng=np.random.default_rng(0))
+    validate_state_dict(model, model.state_dict())  # no raise
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+
+def test_atomic_write_replaces_and_leaves_no_temp(tmp_path):
+    target = tmp_path / "sub" / "file.bin"
+    atomic_write_bytes(target, b"first")
+    atomic_write_bytes(target, b"second")
+    assert target.read_bytes() == b"second"
+    leftovers = [p for p in target.parent.iterdir() if p != target]
+    assert leftovers == []
+
+
+def test_atomic_savez_round_trips_slash_keys(tmp_path):
+    arrays = {"trainer/ugv_optimizer/_m.0": np.arange(6.0).reshape(2, 3),
+              "env_rng/state": np.array([1, 2, 3], dtype=np.uint64)}
+    path = atomic_savez(tmp_path / "state.npz", arrays)
+    with np.load(path) as data:
+        assert sorted(data.files) == sorted(arrays)
+        for key in arrays:
+            np.testing.assert_array_equal(data[key], arrays[key])
+
+
+def test_save_checkpoint_is_atomic_over_existing(tmp_path):
+    model = MLP([2, 2], rng=np.random.default_rng(0))
+    path = save_checkpoint(model, tmp_path / "m.npz", metadata={"v": 1})
+    save_checkpoint(model, path, metadata={"v": 2})
+    assert load_checkpoint(model, path) == {"v": 2}
+    assert [p.name for p in tmp_path.iterdir()] == ["m.npz"]
