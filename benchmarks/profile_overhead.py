@@ -1,0 +1,172 @@
+"""Measure the repro.obs instrumentation overhead on GARL training.
+
+The observability layer's contract is that the *disabled* path — the
+``scope()``/``counter_add()`` calls that now live permanently in the
+training loop — costs within run-to-run noise.  Three measurements:
+
+* **baseline / disabled_again** — two identical training runs with no
+  profiler installed.  Their delta is the run-to-run noise floor; both
+  pay the (disabled) instrumentation calls.
+* **enabled** — the same run under an installed :class:`Profiler`
+  (scope timers + metrics; no op tape), for the informational
+  enabled-mode cost.
+* **microbench** — tight-loop ns/call of disabled ``scope()`` and
+  ``counter_add()``.  Multiplied by the scope-entry count of one real
+  training iteration (read off the enabled run's stats) this yields the
+  *estimated* disabled-mode overhead as a fraction of iteration time —
+  the quantity the CI gate bounds, since the pre-instrumentation
+  baseline no longer exists to diff against.
+
+Results land in ``BENCH_profile.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/profile_overhead.py
+
+``--quick`` runs fewer iterations, skips the JSON write unless
+``--write`` is also given, and exits non-zero if the estimated
+disabled-mode overhead reaches 2% — the CI regression gate for the
+observability subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.garl import GARLAgent
+from repro.experiments import get_preset
+from repro.experiments.runner import build_env
+from repro.obs import Profiler
+from repro.obs.scope import counter_add, is_profiling, scope
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GATE_PCT = 2.0
+MICRO_CALLS = 200_000
+
+
+def _fresh_agent() -> GARLAgent:
+    preset = get_preset("smoke")
+    env = build_env("kaist", preset, num_ugvs=4, num_uavs_per_ugv=2, seed=0)
+    return GARLAgent(env, preset.garl_config())
+
+
+def bench_training(iterations: int, profiler: Profiler | None) -> dict:
+    """Time ``iterations`` GARL smoke iterations on a fresh agent."""
+    agent = _fresh_agent()
+    per_iter: list[float] = []
+
+    def timed(record) -> None:
+        per_iter.append(time.perf_counter())
+
+    t0 = time.perf_counter()
+    if profiler is not None:
+        with profiler:
+            agent.train(iterations, callback=timed)
+    else:
+        agent.train(iterations, callback=timed)
+    total = time.perf_counter() - t0
+    deltas = [b - a for a, b in zip([t0] + per_iter[:-1], per_iter)]
+    return {
+        "iterations": iterations,
+        "total_seconds": round(total, 4),
+        "mean_iteration_ms": round(1e3 * total / iterations, 3),
+        "min_iteration_ms": round(1e3 * min(deltas), 3),
+        "max_iteration_ms": round(1e3 * max(deltas), 3),
+    }
+
+
+def bench_disabled_calls(n: int = MICRO_CALLS) -> dict:
+    """ns/call of the disabled-path primitives (no profiler installed)."""
+    assert not is_profiling()
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with scope("bench"):
+            pass
+    scope_ns = (time.perf_counter() - t0) / n * 1e9
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        counter_add("bench")
+    counter_ns = (time.perf_counter() - t0) / n * 1e9
+    return {
+        "calls": n,
+        "scope_ns_per_call": round(scope_ns, 1),
+        "counter_add_ns_per_call": round(counter_ns, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced run + exit non-zero on gate failure")
+    parser.add_argument("--write", action="store_true",
+                        help="write BENCH_profile.json even with --quick")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="training iterations per measured run "
+                             "(default: 3, or 2 with --quick)")
+    args = parser.parse_args(argv)
+
+    iterations = args.iterations or (2 if args.quick else 3)
+
+    # Warm-up: one iteration to populate campus/stop-graph caches.
+    bench_training(1, None)
+
+    baseline = bench_training(iterations, None)
+    disabled_again = bench_training(iterations, None)
+    prof = Profiler()
+    enabled = bench_training(iterations, prof)
+
+    noise_pct = 100.0 * abs(disabled_again["mean_iteration_ms"]
+                            - baseline["mean_iteration_ms"]) \
+        / baseline["mean_iteration_ms"]
+    enabled_x = enabled["mean_iteration_ms"] / baseline["mean_iteration_ms"]
+
+    micro = bench_disabled_calls()
+    # Scope entries + metric calls per iteration, counted off the real
+    # enabled run (counters/histograms ≈ optimizer steps + env steps).
+    scope_entries = sum(s.count for s in prof.stats.values()) / iterations
+    metric_calls = (sum(c.value for c in prof.metrics.counters.values())
+                    + sum(h.count for h in prof.metrics.histograms.values())
+                    ) / iterations
+    est_disabled_ms = (scope_entries * micro["scope_ns_per_call"]
+                       + metric_calls * micro["counter_add_ns_per_call"]) / 1e6
+    est_disabled_pct = 100.0 * est_disabled_ms / baseline["mean_iteration_ms"]
+
+    report = {
+        "bench": "profile_overhead",
+        "workload": f"{iterations} GARL smoke iterations, kaist, "
+                    f"4 UGVs x 2 UAVs",
+        "baseline": baseline,
+        "disabled_again": disabled_again,
+        "enabled": enabled,
+        "microbench_disabled": micro,
+        "overhead": {
+            "run_to_run_noise_pct": round(noise_pct, 2),
+            "enabled_vs_baseline_x": round(enabled_x, 3),
+            "scope_entries_per_iteration": round(scope_entries, 1),
+            "metric_calls_per_iteration": round(metric_calls, 1),
+            "estimated_disabled_overhead_pct": round(est_disabled_pct, 4),
+            "gate_pct": GATE_PCT,
+        },
+    }
+    print(json.dumps(report, indent=2))
+
+    if not args.quick or args.write:
+        out = REPO_ROOT / "BENCH_profile.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwritten to {out}")
+
+    if args.quick and est_disabled_pct >= GATE_PCT:
+        print(f"\nGATE FAILED: estimated disabled-mode overhead "
+              f"{est_disabled_pct:.3f}% >= {GATE_PCT}% of iteration time",
+              file=sys.stderr)
+        return 1
+    print(f"\ngate ok: estimated disabled-mode overhead "
+          f"{est_disabled_pct:.4f}% < {GATE_PCT}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

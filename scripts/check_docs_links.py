@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Markdown link validator + docs/index.md reachability check.
+
+Two invariants over the repo's documentation:
+
+1. every relative markdown link (``[text](path)``, including ``#anchor``
+   targets within the same file) in README.md, DESIGN.md, ROADMAP.md and
+   ``docs/**/*.md`` resolves to an existing file;
+2. every file under ``docs/`` is reachable from ``docs/index.md`` by
+   following links (no orphaned documentation).
+
+External links (``http(s)://``, ``mailto:``) are not fetched.  Run from
+the repo root:
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ROOTS = ("README.md", "DESIGN.md", "ROADMAP.md", "PAPER.md")
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist too.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO_ROOT / name for name in ROOTS
+             if (REPO_ROOT / name).exists()]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return files
+
+
+def _targets(path: Path) -> list[str]:
+    return _LINK_RE.findall(path.read_text(encoding="utf-8"))
+
+
+def check_links(files: list[Path]) -> list[str]:
+    """Return 'file: broken-target' strings for unresolvable links."""
+    broken: list[str] = []
+    for path in files:
+        for target in _targets(path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # intra-file anchor; heading drift not checked
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)}: {target}")
+    return broken
+
+
+def check_reachability() -> list[str]:
+    """Return docs/ files not reachable by links from docs/index.md."""
+    index = REPO_ROOT / "docs" / "index.md"
+    if not index.exists():
+        return ["docs/index.md does not exist"]
+    seen: set[Path] = set()
+    frontier = [index]
+    while frontier:
+        path = frontier.pop()
+        if path in seen or not path.exists():
+            continue
+        seen.add(path)
+        if path.suffix != ".md":
+            continue
+        for target in _targets(path):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if rel:
+                frontier.append((path.parent / rel).resolve())
+    orphans = []
+    for path in sorted((REPO_ROOT / "docs").rglob("*.md")):
+        if path.resolve() not in seen:
+            orphans.append(str(path.relative_to(REPO_ROOT)))
+    return orphans
+
+
+def main() -> int:
+    files = _doc_files()
+    broken = check_links(files)
+    orphans = check_reachability()
+    status = 0
+    if broken:
+        print(f"{len(broken)} broken markdown links:")
+        for item in broken:
+            print(f"  - {item}")
+        status = 1
+    if orphans:
+        print(f"{len(orphans)} docs not reachable from docs/index.md:")
+        for item in orphans:
+            print(f"  - {item}")
+        status = 1
+    if status == 0:
+        print(f"docs ok: {len(files)} files, all links resolve, "
+              f"all docs reachable from docs/index.md")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ Commands mirror the paper's experiments:
                      (autodiff-misuse rules; see docs/static_analysis.md).
 * ``graphcheck``   — trace each method's training step into a graph IR
                      and run the GC001-GC005 static passes over it.
+* ``profile``      — profile a short training run: hierarchical scope
+                     timers, per-op autodiff table, Chrome trace (see
+                     docs/observability.md).
 """
 
 from __future__ import annotations
@@ -83,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "pointer) or from a specific checkpoint path; "
                               "continuation is bit-for-bit identical to an "
                               "uninterrupted run")
+    p_train.add_argument("--profile", action="store_true",
+                         help="run under the repro.obs scope profiler; "
+                              "prints the top-scope table and writes a "
+                              "Chrome trace + JSONL to --profile-dir")
+    p_train.add_argument("--profile-dir", type=str, default=None,
+                         help="output directory for --profile artifacts "
+                              "(default: --checkpoint-dir, else cwd)")
 
     p_eval = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
     p_eval.add_argument("method", choices=sorted(AGENT_NAMES))
@@ -142,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_gc.add_argument("gc_args", nargs=argparse.REMAINDER,
                       help="arguments for the graphcheck runner "
                            "(--methods, --dot, --json, --show-cse, ...)")
+
+    from .obs.cli import add_profile_parser
+
+    add_profile_parser(sub)
     return parser
 
 
@@ -170,11 +184,16 @@ def main(argv: list[str] | None = None) -> int:
 
     preset = get_preset(args.preset)
 
+    if args.command == "profile":
+        from .obs.cli import run_profile_command
+
+        return run_profile_command(args)
+
     if args.command == "train":
         from .experiments import RESUME_EXIT_CODE, TrainingInterrupted, run_training
 
-        try:
-            record, agent = run_training(
+        def _train_call():
+            return run_training(
                 args.method, args.campus, preset,
                 num_ugvs=args.ugvs, num_uavs_per_ugv=args.uavs,
                 seed=args.seed, train_iterations=args.iterations,
@@ -182,6 +201,15 @@ def main(argv: list[str] | None = None) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 save_every=args.save_every, keep_last=args.keep_last,
                 resume=args.resume)
+
+        try:
+            if args.profile:
+                from .obs.cli import profile_training
+
+                profile_dir = (args.profile_dir or args.checkpoint_dir or ".")
+                record, agent = profile_training(_train_call, profile_dir)
+            else:
+                record, agent = _train_call()
         except TrainingInterrupted as interrupted:
             print(f"{interrupted}")
             print(f"resume with: repro train {args.method} --campus "

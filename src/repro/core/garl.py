@@ -20,6 +20,7 @@ import numpy as np
 from ..env.airground import AirGroundEnv
 from ..env.metrics import MetricSnapshot
 from ..nn import load_checkpoint, save_checkpoint
+from ..obs.scope import scope as obs_scope
 from .config import GARLConfig
 from .ippo import IPPOTrainer, TrainRecord, run_episode
 from .policies import UAVPolicy, UGVPolicy
@@ -75,8 +76,9 @@ class GARLAgent:
         rng = np.random.default_rng(seed if seed is not None else self.config.seed)
         if seed is not None:
             self.env.reset(seed)
-        run_episode(self.env, self.ugv_policy, self.uav_policy, rng,
-                    greedy=greedy, trace=trace)
+        with obs_scope("trace"):
+            run_episode(self.env, self.ugv_policy, self.uav_policy, rng,
+                        greedy=greedy, trace=trace)
         return trace
 
     # ------------------------------------------------------------------
@@ -92,6 +94,7 @@ class GARLAgent:
         save_checkpoint(self.uav_policy, directory / "uav_policy.npz", meta)
 
     def load(self, directory: str | Path) -> None:
+        """Load both policies from a :meth:`save` directory (weights only)."""
         directory = Path(directory)
         load_checkpoint(self.ugv_policy, directory / "ugv_policy.npz")
         load_checkpoint(self.uav_policy, directory / "uav_policy.npz")
@@ -110,6 +113,7 @@ class GARLAgent:
                 "trainer": self.trainer.state_dict()}
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validates names/shapes)."""
         from ..nn import validate_state_dict
 
         validate_state_dict(self.ugv_policy, state["ugv_policy"], "ugv_policy state")

@@ -29,6 +29,12 @@ from ..nn import (
     rng_from_state,
     rng_state,
 )
+from ..obs.scope import (
+    counter_add,
+    gauge_set,
+    histogram_observe,
+    scope as obs_scope,
+)
 from .buffer import (
     UAVFlatBatch,
     UAVRollout,
@@ -75,7 +81,7 @@ def run_episode(env: AirGroundEnv, ugv_policy, uav_policy,
             begin()
     while True:
         actionable = np.array([not g.is_waiting for g in env.ugvs])
-        with no_grad():
+        with obs_scope("forward/ugv"), no_grad():
             out = ugv_policy(res.ugv_observations)
             dist = out.distribution
             actions = dist.mode() if greedy else dist.sample(rng)
@@ -89,7 +95,7 @@ def run_episode(env: AirGroundEnv, ugv_policy, uav_policy,
         uav_obs_kept = {}
         if airborne:
             batch = [res.uav_observations[v] for v in airborne]
-            with no_grad():
+            with obs_scope("forward/uav"), no_grad():
                 gdist, gvalues = uav_policy(batch)
                 sampled = gdist.mode() if greedy else gdist.sample(rng)
                 logps = gdist.log_prob(sampled).numpy()
@@ -108,7 +114,11 @@ def run_episode(env: AirGroundEnv, ugv_policy, uav_policy,
             })
 
         prev_obs = res.ugv_observations
-        res = env.step(actions, uav_actions)
+        with obs_scope("env/step"):
+            res = env.step(actions, uav_actions)
+        counter_add("env/steps")
+        if res.done:
+            counter_add("env/episodes")
 
         if ugv_rollout is not None:
             ugv_rollout.add(prev_obs, actions, log_probs, values,
@@ -152,7 +162,7 @@ def run_vec_episodes(venv: VecAirGroundEnv, ugv_policy, uav_policy,
         prev_ugv_obs = res.ugv_obs
         prev_uav_obs = res.uav_obs
 
-        with no_grad():
+        with obs_scope("forward/ugv"), no_grad():
             out = forward_policy_batched(ugv_policy, res.ugv_obs)
             dist = out.distribution
             actions = dist.mode() if greedy else dist.sample(rng)  # (K, U)
@@ -165,7 +175,7 @@ def run_vec_episodes(venv: VecAirGroundEnv, ugv_policy, uav_policy,
         uav_values = np.zeros((num_envs, cfg.num_uavs))
         ks, vs = np.nonzero(prev_uav_obs.airborne)
         if len(ks):
-            with no_grad():
+            with obs_scope("forward/uav"), no_grad():
                 gdist, gvalues = uav_policy.forward_arrays(
                     prev_uav_obs.grid[ks, vs], prev_uav_obs.aux[ks, vs])
                 sampled = gdist.mode() if greedy else gdist.sample(rng)
@@ -226,20 +236,26 @@ class IPPOTrainer:
         last_metrics: MetricSnapshot | None = None
         total_ugv_reward = 0.0
         total_uav_reward = 0.0
-        for episode in range(episodes):
-            ugv_roll = UGVRollout(cfg.num_ugvs)
-            uav_roll = UAVRollout(cfg.num_uavs)
-            last_metrics = run_episode(self.env, self.ugv_policy, self.uav_policy,
-                                       self.rng, greedy=False,
-                                       ugv_rollout=ugv_roll, uav_rollout=uav_roll)
-            total_ugv_reward += float(np.sum(ugv_roll.rewards))
-            uav_samples_ep = uav_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda)
-            total_uav_reward += float(sum(s.ret for s in uav_samples_ep if s.ret))
-            ugv_samples.extend(ugv_roll.build_samples(self.ppo.gamma, self.ppo.gae_lambda,
-                                                      episode=episode))
-            uav_samples.extend(uav_samples_ep)
+        with obs_scope("rollout"):
+            for episode in range(episodes):
+                ugv_roll = UGVRollout(cfg.num_ugvs)
+                uav_roll = UAVRollout(cfg.num_uavs)
+                last_metrics = run_episode(self.env, self.ugv_policy,
+                                           self.uav_policy, self.rng,
+                                           greedy=False, ugv_rollout=ugv_roll,
+                                           uav_rollout=uav_roll)
+                total_ugv_reward += float(np.sum(ugv_roll.rewards))
+                with obs_scope("gae"):
+                    uav_samples_ep = uav_roll.build_samples(self.ppo.gamma,
+                                                            self.ppo.gae_lambda)
+                    ugv_samples.extend(ugv_roll.build_samples(
+                        self.ppo.gamma, self.ppo.gae_lambda, episode=episode))
+                total_uav_reward += float(sum(s.ret for s in uav_samples_ep if s.ret))
+                uav_samples.extend(uav_samples_ep)
         if last_metrics is None:
             raise RuntimeError("collect() requires at least one episode")
+        counter_add("rollout/ugv_samples", len(ugv_samples))
+        counter_add("rollout/uav_samples", len(uav_samples))
         return ugv_samples, uav_samples, last_metrics, total_ugv_reward, total_uav_reward
 
     # ------------------------------------------------------------------
@@ -271,12 +287,16 @@ class IPPOTrainer:
         horizon = episodes * cfg.episode_len
         ugv_roll = VecUGVRollout(num_envs, horizon, cfg.num_ugvs, self.env.num_stops)
         uav_roll = VecUAVRollout(num_envs, horizon, cfg.num_uavs, cfg.uav_obs_size)
-        metrics = run_vec_episodes(venv, self.ugv_policy, self.uav_policy,
-                                   self.rng, episodes=episodes,
-                                   ugv_rollout=ugv_roll, uav_rollout=uav_roll)
-        total_ugv_reward = float(ugv_roll.rewards.sum())
-        uav_flat = uav_roll.flat_samples(self.ppo.gamma, self.ppo.gae_lambda)
-        total_uav_reward = float(uav_flat.returns.sum())
+        with obs_scope("rollout"):
+            metrics = run_vec_episodes(venv, self.ugv_policy, self.uav_policy,
+                                       self.rng, episodes=episodes,
+                                       ugv_rollout=ugv_roll, uav_rollout=uav_roll)
+            total_ugv_reward = float(ugv_roll.rewards.sum())
+            with obs_scope("gae"):
+                uav_flat = uav_roll.flat_samples(self.ppo.gamma, self.ppo.gae_lambda)
+            total_uav_reward = float(uav_flat.returns.sum())
+        counter_add("rollout/ugv_samples", num_envs * horizon * cfg.num_ugvs)
+        counter_add("rollout/uav_samples", len(uav_flat))
         return ugv_roll, uav_roll, metrics, total_ugv_reward, total_uav_reward
 
     # ------------------------------------------------------------------
@@ -296,18 +316,26 @@ class IPPOTrainer:
 
         policy_losses, value_losses = [], []
         order = np.arange(len(samples))
-        for _ in range(ppo.epochs):
-            self.rng.shuffle(order)
-            for start in range(0, len(order), ppo.minibatch_size):
-                batch_idx = order[start:start + ppo.minibatch_size]
-                with self._sanitize():
-                    loss, pl, vl = self._ugv_minibatch_loss(samples, batch_idx, norm_adv)
-                    self.ugv_optimizer.zero_grad()
-                    loss.backward()
-                    clip_grad_norm(self.ugv_optimizer.params, ppo.max_grad_norm)
-                    self.ugv_optimizer.step()
-                policy_losses.append(pl)
-                value_losses.append(vl)
+        with obs_scope("update/ugv"):
+            for _ in range(ppo.epochs):
+                self.rng.shuffle(order)
+                for start in range(0, len(order), ppo.minibatch_size):
+                    batch_idx = order[start:start + ppo.minibatch_size]
+                    with self._sanitize():
+                        with obs_scope("forward"):
+                            loss, pl, vl = self._ugv_minibatch_loss(
+                                samples, batch_idx, norm_adv)
+                        self.ugv_optimizer.zero_grad()
+                        with obs_scope("backward"):
+                            loss.backward()
+                        with obs_scope("optim"):
+                            clip_grad_norm(self.ugv_optimizer.params,
+                                           ppo.max_grad_norm)
+                            self.ugv_optimizer.step()
+                    counter_add("optim/ugv_steps")
+                    histogram_observe("loss/ugv_policy", pl)
+                    policy_losses.append(pl)
+                    value_losses.append(vl)
         return {"ugv_policy_loss": float(np.mean(policy_losses)),
                 "ugv_value_loss": float(np.mean(value_losses))}
 
@@ -388,18 +416,26 @@ class IPPOTrainer:
 
         policy_losses, value_losses = [], []
         order = np.arange(len(flat))
-        for _ in range(ppo.epochs):
-            self.rng.shuffle(order)
-            for start in range(0, len(order), ppo.minibatch_size):
-                batch_idx = order[start:start + ppo.minibatch_size]
-                with self._sanitize():
-                    loss, pl, vl = self._ugv_minibatch_loss_vec(flat, batch_idx, norm_adv)
-                    self.ugv_optimizer.zero_grad()
-                    loss.backward()
-                    clip_grad_norm(self.ugv_optimizer.params, ppo.max_grad_norm)
-                    self.ugv_optimizer.step()
-                policy_losses.append(pl)
-                value_losses.append(vl)
+        with obs_scope("update/ugv"):
+            for _ in range(ppo.epochs):
+                self.rng.shuffle(order)
+                for start in range(0, len(order), ppo.minibatch_size):
+                    batch_idx = order[start:start + ppo.minibatch_size]
+                    with self._sanitize():
+                        with obs_scope("forward"):
+                            loss, pl, vl = self._ugv_minibatch_loss_vec(
+                                flat, batch_idx, norm_adv)
+                        self.ugv_optimizer.zero_grad()
+                        with obs_scope("backward"):
+                            loss.backward()
+                        with obs_scope("optim"):
+                            clip_grad_norm(self.ugv_optimizer.params,
+                                           ppo.max_grad_norm)
+                            self.ugv_optimizer.step()
+                    counter_add("optim/ugv_steps")
+                    histogram_observe("loss/ugv_policy", pl)
+                    policy_losses.append(pl)
+                    value_losses.append(vl)
         return {"ugv_policy_loss": float(np.mean(policy_losses)),
                 "ugv_value_loss": float(np.mean(value_losses))}
 
@@ -462,37 +498,48 @@ class IPPOTrainer:
 
         policy_losses, value_losses = [], []
         order = np.arange(len(flat))
-        for _ in range(ppo.epochs):
-            self.rng.shuffle(order)
-            for start in range(0, len(order), ppo.minibatch_size):
-                idxs = order[start:start + ppo.minibatch_size]
-                with self._sanitize():
-                    dist, value = self.uav_policy.forward_arrays(
-                        flat.grids[idxs], flat.aux[idxs])
-                    logp = dist.log_prob(flat.actions[idxs])
-                    ratio = (logp - Tensor(flat.log_probs[idxs])).exp()
-                    adv = Tensor(norm_adv[idxs])
-                    surr1 = ratio * adv
-                    surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv
-                    policy_loss = -Tensor.minimum(surr1, surr2).mean()
+        with obs_scope("update/uav"):
+            for _ in range(ppo.epochs):
+                self.rng.shuffle(order)
+                for start in range(0, len(order), ppo.minibatch_size):
+                    idxs = order[start:start + ppo.minibatch_size]
+                    with self._sanitize():
+                        with obs_scope("forward"):
+                            dist, value = self.uav_policy.forward_arrays(
+                                flat.grids[idxs], flat.aux[idxs])
+                            logp = dist.log_prob(flat.actions[idxs])
+                            ratio = (logp - Tensor(flat.log_probs[idxs])).exp()
+                            adv = Tensor(norm_adv[idxs])
+                            surr1 = ratio * adv
+                            surr2 = ratio.clip(1.0 - ppo.clip_eps,
+                                               1.0 + ppo.clip_eps) * adv
+                            policy_loss = -Tensor.minimum(surr1, surr2).mean()
 
-                    ret = flat.returns[idxs]
-                    old_value = flat.values[idxs]
-                    v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
-                        -ppo.value_clip, ppo.value_clip)
-                    value_loss = Tensor.maximum((value - Tensor(ret)) ** 2,
-                                                (v_clipped - Tensor(ret)) ** 2).mean()
-                    entropy = dist.entropy().mean()
+                            ret = flat.returns[idxs]
+                            old_value = flat.values[idxs]
+                            v_clipped = Tensor(old_value) + (
+                                value - Tensor(old_value)).clip(
+                                -ppo.value_clip, ppo.value_clip)
+                            value_loss = Tensor.maximum(
+                                (value - Tensor(ret)) ** 2,
+                                (v_clipped - Tensor(ret)) ** 2).mean()
+                            entropy = dist.entropy().mean()
 
-                    total = (policy_loss + ppo.value_coef * value_loss
-                             - self._entropy_coef * entropy)
-                    annotate(total, "ippo.uav_loss")
-                    self.uav_optimizer.zero_grad()
-                    total.backward()
-                    clip_grad_norm(self.uav_optimizer.params, ppo.max_grad_norm)
-                    self.uav_optimizer.step()
-                policy_losses.append(float(policy_loss.item()))
-                value_losses.append(float(value_loss.item()))
+                            total = (policy_loss + ppo.value_coef * value_loss
+                                     - self._entropy_coef * entropy)
+                            annotate(total, "ippo.uav_loss")
+                        self.uav_optimizer.zero_grad()
+                        with obs_scope("backward"):
+                            total.backward()
+                        with obs_scope("optim"):
+                            clip_grad_norm(self.uav_optimizer.params,
+                                           ppo.max_grad_norm)
+                            self.uav_optimizer.step()
+                    counter_add("optim/uav_steps")
+                    pl = float(policy_loss.item())
+                    histogram_observe("loss/uav_policy", pl)
+                    policy_losses.append(pl)
+                    value_losses.append(float(value_loss.item()))
         return {"uav_policy_loss": float(np.mean(policy_losses)),
                 "uav_value_loss": float(np.mean(value_losses))}
 
@@ -507,38 +554,51 @@ class IPPOTrainer:
 
         policy_losses, value_losses = [], []
         order = np.arange(len(samples))
-        for _ in range(ppo.epochs):
-            self.rng.shuffle(order)
-            for start in range(0, len(order), ppo.minibatch_size):
-                idxs = order[start:start + ppo.minibatch_size]
-                batch = [samples[i] for i in idxs]
-                with self._sanitize():
-                    dist, value = self.uav_policy([s.observation for s in batch])
-                    actions = np.stack([s.action for s in batch])
-                    logp = dist.log_prob(actions)
-                    ratio = (logp - Tensor(np.array([s.log_prob for s in batch]))).exp()
-                    adv = Tensor(norm_adv[idxs])
-                    surr1 = ratio * adv
-                    surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv
-                    policy_loss = -Tensor.minimum(surr1, surr2).mean()
+        with obs_scope("update/uav"):
+            for _ in range(ppo.epochs):
+                self.rng.shuffle(order)
+                for start in range(0, len(order), ppo.minibatch_size):
+                    idxs = order[start:start + ppo.minibatch_size]
+                    batch = [samples[i] for i in idxs]
+                    with self._sanitize():
+                        with obs_scope("forward"):
+                            dist, value = self.uav_policy(
+                                [s.observation for s in batch])
+                            actions = np.stack([s.action for s in batch])
+                            logp = dist.log_prob(actions)
+                            ratio = (logp - Tensor(
+                                np.array([s.log_prob for s in batch]))).exp()
+                            adv = Tensor(norm_adv[idxs])
+                            surr1 = ratio * adv
+                            surr2 = ratio.clip(1.0 - ppo.clip_eps,
+                                               1.0 + ppo.clip_eps) * adv
+                            policy_loss = -Tensor.minimum(surr1, surr2).mean()
 
-                    ret = np.array([s.ret for s in batch])
-                    old_value = np.array([s.value for s in batch])
-                    v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
-                        -ppo.value_clip, ppo.value_clip)
-                    value_loss = Tensor.maximum((value - Tensor(ret)) ** 2,
-                                                (v_clipped - Tensor(ret)) ** 2).mean()
-                    entropy = dist.entropy().mean()
+                            ret = np.array([s.ret for s in batch])
+                            old_value = np.array([s.value for s in batch])
+                            v_clipped = Tensor(old_value) + (
+                                value - Tensor(old_value)).clip(
+                                -ppo.value_clip, ppo.value_clip)
+                            value_loss = Tensor.maximum(
+                                (value - Tensor(ret)) ** 2,
+                                (v_clipped - Tensor(ret)) ** 2).mean()
+                            entropy = dist.entropy().mean()
 
-                    total = (policy_loss + ppo.value_coef * value_loss
-                             - self._entropy_coef * entropy)
-                    annotate(total, "ippo.uav_loss")
-                    self.uav_optimizer.zero_grad()
-                    total.backward()
-                    clip_grad_norm(self.uav_optimizer.params, ppo.max_grad_norm)
-                    self.uav_optimizer.step()
-                policy_losses.append(float(policy_loss.item()))
-                value_losses.append(float(value_loss.item()))
+                            total = (policy_loss + ppo.value_coef * value_loss
+                                     - self._entropy_coef * entropy)
+                            annotate(total, "ippo.uav_loss")
+                        self.uav_optimizer.zero_grad()
+                        with obs_scope("backward"):
+                            total.backward()
+                        with obs_scope("optim"):
+                            clip_grad_norm(self.uav_optimizer.params,
+                                           ppo.max_grad_norm)
+                            self.uav_optimizer.step()
+                    counter_add("optim/uav_steps")
+                    pl = float(policy_loss.item())
+                    histogram_observe("loss/uav_policy", pl)
+                    policy_losses.append(pl)
+                    value_losses.append(float(value_loss.item()))
         return {"uav_policy_loss": float(np.mean(policy_losses)),
                 "uav_value_loss": float(np.mean(value_losses))}
 
@@ -566,34 +626,39 @@ class IPPOTrainer:
         total = (total_iterations if total_iterations is not None
                  else self._iteration + iterations)
         for _ in range(iterations):
-            iteration = self._iteration
-            progress = iteration / max(1, total - 1)
-            if self.lr_schedule is not None:
-                lr = float(self.lr_schedule(progress))
-                self.ugv_optimizer.lr = lr
-                self.uav_optimizer.lr = lr
-            if self.entropy_schedule is not None:
-                self._entropy_coef = float(self.entropy_schedule(progress))
-            losses = {}
-            if use_vec:
-                ugv_roll, uav_roll, metrics, ugv_r, uav_r = self.collect_vec(
-                    episodes_per_iteration, num_envs)
-                losses.update(self.update_ugv_vec(ugv_roll))
-                losses.update(self.update_uav_vec(uav_roll))
-            else:
-                ugv_samples, uav_samples, metrics, ugv_r, uav_r = self.collect(
-                    episodes_per_iteration)
-                losses.update(self.update_ugv(ugv_samples))
-                losses.update(self.update_uav(uav_samples))
-            for policy in (self.ugv_policy, self.uav_policy):
-                post = getattr(policy, "post_update", None)
-                if post is not None:
-                    post()
-            record = TrainRecord(iteration, metrics.as_dict(), ugv_r, uav_r, losses)
-            self.history.append(record)
-            self._iteration += 1
-            if callback is not None:
-                callback(record)
+            with obs_scope("iteration"):
+                iteration = self._iteration
+                progress = iteration / max(1, total - 1)
+                if self.lr_schedule is not None:
+                    lr = float(self.lr_schedule(progress))
+                    self.ugv_optimizer.lr = lr
+                    self.uav_optimizer.lr = lr
+                    gauge_set("train/lr", lr)
+                if self.entropy_schedule is not None:
+                    self._entropy_coef = float(self.entropy_schedule(progress))
+                    gauge_set("train/entropy_coef", self._entropy_coef)
+                losses = {}
+                if use_vec:
+                    ugv_roll, uav_roll, metrics, ugv_r, uav_r = self.collect_vec(
+                        episodes_per_iteration, num_envs)
+                    losses.update(self.update_ugv_vec(ugv_roll))
+                    losses.update(self.update_uav_vec(uav_roll))
+                else:
+                    ugv_samples, uav_samples, metrics, ugv_r, uav_r = self.collect(
+                        episodes_per_iteration)
+                    losses.update(self.update_ugv(ugv_samples))
+                    losses.update(self.update_uav(uav_samples))
+                for policy in (self.ugv_policy, self.uav_policy):
+                    post = getattr(policy, "post_update", None)
+                    if post is not None:
+                        post()
+                record = TrainRecord(iteration, metrics.as_dict(), ugv_r,
+                                     uav_r, losses)
+                self.history.append(record)
+                self._iteration += 1
+                counter_add("train/iterations")
+                if callback is not None:
+                    callback(record)
         return self.history
 
     # ------------------------------------------------------------------
@@ -641,9 +706,10 @@ class IPPOTrainer:
     def evaluate(self, episodes: int = 1, greedy: bool = True) -> MetricSnapshot:
         """Average metrics over greedy evaluation episodes."""
         totals = np.zeros(4)
-        for _ in range(episodes):
-            snap = run_episode(self.env, self.ugv_policy, self.uav_policy,
-                               self.rng, greedy=greedy)
-            totals += np.array([snap.psi, snap.xi, snap.zeta, snap.beta])
+        with obs_scope("eval"):
+            for _ in range(episodes):
+                snap = run_episode(self.env, self.ugv_policy, self.uav_policy,
+                                   self.rng, greedy=greedy)
+                totals += np.array([snap.psi, snap.xi, snap.zeta, snap.beta])
         psi, xi, zeta, beta = totals / episodes
         return MetricSnapshot(float(psi), float(xi), float(zeta), float(beta))

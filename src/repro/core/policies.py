@@ -205,6 +205,7 @@ class UAVPolicy(Module):
         self.log_std = Parameter(np.full(2, -0.5))
 
     def features(self, grids: np.ndarray, aux: np.ndarray) -> Tensor:
+        """Shared conv-trunk embedding of grid + aux observation arrays."""
         x = Tensor(np.asarray(grids, dtype=float))
         x = self.conv1(x).relu()
         x = self.conv2(x).relu()

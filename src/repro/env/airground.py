@@ -113,6 +113,7 @@ class AirGroundEnv:
 
     @property
     def num_stops(self) -> int:
+        """Number of stops in the shared stop graph."""
         return self.stops.num_stops
 
     @property
@@ -122,9 +123,11 @@ class AirGroundEnv:
 
     @property
     def release_action(self) -> int:
+        """The UGV action index meaning "release/recall UAVs here"."""
         return self.stops.num_stops
 
     def uavs_of(self, ugv_index: int) -> list[UAV]:
+        """The UAVs carried by (assigned to) UGV ``ugv_index``."""
         v = self.config.num_uavs_per_ugv
         return self.uavs[ugv_index * v:(ugv_index + 1) * v]
 

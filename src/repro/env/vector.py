@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.scope import counter_add, scope as obs_scope
 from .airground import AirGroundEnv
 from .metrics import MetricSnapshot
 from .observation import UAVObsArrays, UGVObsArrays
@@ -116,10 +117,11 @@ class VecAirGroundEnv:
         cfg = self.config
         ugv_obs, uav_obs = self._next_buffers()
         actionable = np.zeros((self.num_envs, cfg.num_ugvs), dtype=bool)
-        for k, env in enumerate(self.envs):
-            env.reset_state(None if seeds is None else int(seeds[k]))
-            env.encode_observations(ugv_obs, uav_obs, k)
-            actionable[k] = env._actionable()
+        with obs_scope("env/reset"):
+            for k, env in enumerate(self.envs):
+                env.reset_state(None if seeds is None else int(seeds[k]))
+                env.encode_observations(ugv_obs, uav_obs, k)
+                actionable[k] = env._actionable()
         self._needs_reset[:] = False
         return VecStepResult(
             ugv_obs=ugv_obs, uav_obs=uav_obs,
@@ -164,22 +166,26 @@ class VecAirGroundEnv:
         actionable = np.zeros((self.num_envs, cfg.num_ugvs), dtype=bool)
         dones = np.zeros(self.num_envs, dtype=bool)
         infos: list[dict] = []
-        for k, env in enumerate(self.envs):
-            ugv_r, uav_r, done, collected = env.step_dynamics(
-                ugv_actions[k], uav_actions[k])
-            ugv_rewards[k] = ugv_r
-            uav_rewards[k] = uav_r
-            dones[k] = done
-            info = {"t": env.t, "collected_this_step": collected}
-            if done:
-                info["final_metrics"] = env.metrics()
-                if reset_on_done:
-                    env.reset_state()  # unseeded: continue the rng stream
-                else:
-                    self._needs_reset[k] = True
-            infos.append(info)
-            env.encode_observations(ugv_obs, uav_obs, k)
-            actionable[k] = env._actionable()
+        with obs_scope("env/step"):
+            for k, env in enumerate(self.envs):
+                ugv_r, uav_r, done, collected = env.step_dynamics(
+                    ugv_actions[k], uav_actions[k])
+                ugv_rewards[k] = ugv_r
+                uav_rewards[k] = uav_r
+                dones[k] = done
+                info = {"t": env.t, "collected_this_step": collected}
+                if done:
+                    info["final_metrics"] = env.metrics()
+                    if reset_on_done:
+                        env.reset_state()  # unseeded: continue the rng stream
+                    else:
+                        self._needs_reset[k] = True
+                infos.append(info)
+                env.encode_observations(ugv_obs, uav_obs, k)
+                actionable[k] = env._actionable()
+        counter_add("env/steps", self.num_envs)
+        if dones.any():
+            counter_add("env/episodes", int(dones.sum()))
         return VecStepResult(ugv_obs=ugv_obs, uav_obs=uav_obs,
                              ugv_rewards=ugv_rewards, uav_rewards=uav_rewards,
                              ugv_actionable=actionable, dones=dones, infos=infos)
@@ -210,4 +216,5 @@ class VecAirGroundEnv:
         return MetricSnapshot.mean(env.metrics() for env in self.envs)
 
     def metrics_per_env(self) -> list[MetricSnapshot]:
+        """Each replica's current metrics, in replica order."""
         return [env.metrics() for env in self.envs]

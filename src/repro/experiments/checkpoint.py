@@ -385,7 +385,8 @@ class TrainingCheckpointer:
                  config_fingerprint: str | None = None,
                  manifest_extra: dict | None = None,
                  telemetry=None,
-                 interrupt: GracefulInterrupt | None = None):
+                 interrupt: GracefulInterrupt | None = None,
+                 extra_state=None):
         if save_every < 1 or keep_last < 1:
             raise ValueError("save_every and keep_last must be >= 1")
         self.run_dir = Path(run_dir)
@@ -399,6 +400,10 @@ class TrainingCheckpointer:
         self.manifest_extra = dict(manifest_extra or {})
         self.telemetry = telemetry
         self.interrupt = interrupt
+        # Optional zero-arg callable evaluated at each save; its JSON-able
+        # return value lands in the manifest under "extra_state" (this is
+        # how the repro.obs metrics registry rides along with checkpoints).
+        self.extra_state = extra_state
         self.last_saved: Path | None = None
         self.best_path: Path | None = None
         self.best_value = -float("inf")
@@ -459,6 +464,8 @@ class TrainingCheckpointer:
             "metric_value": value,
             **self.manifest_extra,
         }
+        if self.extra_state is not None:
+            manifest["extra_state"] = self.extra_state()
         write_checkpoint(path, self.agent.state_dict(), manifest)
         if path not in self._saved:
             self._saved.append(path)

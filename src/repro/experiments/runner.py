@@ -15,6 +15,7 @@ from ..env.airground import AirGroundEnv
 from ..env.vector import replica_seed
 from ..maps.campus import CampusMap, build_campus
 from ..maps.stop_graph import StopGraph, build_stop_graph
+from ..obs.scope import active_profiler, scope as obs_scope
 from .checkpoint import (
     GracefulInterrupt,
     TrainingCheckpointer,
@@ -43,6 +44,7 @@ def get_campus(name: str, scale: float) -> tuple[CampusMap, StopGraph]:
 
 
 def campus_cache_clear() -> None:
+    """Drop all cached campus/stop-graph pairs (test isolation hook)."""
     _CAMPUS_CACHE.clear()
 
 
@@ -59,6 +61,7 @@ def method_seed(method: str, seed: int) -> int:
 
 def build_env(campus_name: str, preset: ScalePreset, num_ugvs: int,
               num_uavs_per_ugv: int, seed: int = 0) -> AirGroundEnv:
+    """Construct an env for a (campus, preset, coalition, seed) choice."""
     campus, stops = get_campus(campus_name, preset.campus_scale)
     env_cfg = preset.env_config(num_ugvs, num_uavs_per_ugv)
     return AirGroundEnv(campus, env_cfg, stops=stops, seed=seed)
@@ -80,9 +83,11 @@ def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke
     k)``); agents without vectorization support train sequentially.
     """
     preset_obj = get_preset(preset) if isinstance(preset, str) else preset
-    env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
-    config = (garl_config or preset_obj.garl_config()).replace(seed=method_seed(method, seed))
-    agent = make_agent(method, env, config)
+    with obs_scope("setup"):
+        env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
+        config = (garl_config
+                  or preset_obj.garl_config()).replace(seed=method_seed(method, seed))
+        agent = make_agent(method, env, config)
 
     iterations = (train_iterations if train_iterations is not None
                   else preset_obj.train_iterations)
@@ -90,7 +95,8 @@ def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke
     if num_envs > 1 and "num_envs" in inspect.signature(agent.train).parameters:
         train_kwargs["num_envs"] = num_envs
     t_train = time.perf_counter()
-    agent.train(iterations, preset_obj.episodes_per_iteration, **train_kwargs)
+    with obs_scope("train"):
+        agent.train(iterations, preset_obj.episodes_per_iteration, **train_kwargs)
     train_seconds = time.perf_counter() - t_train
 
     t_eval = time.perf_counter()
@@ -139,10 +145,12 @@ def run_training(method: str, campus_name: str,
     inspect the trained agent without retraining.
     """
     preset_obj = get_preset(preset) if isinstance(preset, str) else preset
-    env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
-    config = (garl_config or preset_obj.garl_config()).replace(
-        seed=method_seed(method, seed))
-    agent = make_agent(method, env, config)
+    with obs_scope("setup"):
+        env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv,
+                        seed)
+        config = (garl_config or preset_obj.garl_config()).replace(
+            seed=method_seed(method, seed))
+        agent = make_agent(method, env, config)
 
     total = (train_iterations if train_iterations is not None
              else preset_obj.train_iterations)
@@ -166,6 +174,13 @@ def run_training(method: str, campus_name: str,
                                             expect_fingerprint=fingerprint)
         iterations_done = int(manifest["iterations_completed"])
         telemetry.rewind(int(manifest["telemetry_cursor"]))
+        # Restore the observability metrics registry, if one is live and
+        # the checkpoint carried a snapshot (see TrainingCheckpointer's
+        # extra_state hook): counters continue from the interrupted run.
+        prof = active_profiler()
+        metrics_state = (manifest.get("extra_state") or {}).get("metrics")
+        if prof is not None and metrics_state:
+            prof.metrics.load_state_dict(metrics_state)
 
     sig = inspect.signature(agent.train).parameters
     train_kwargs = {}
@@ -176,6 +191,13 @@ def run_training(method: str, campus_name: str,
 
     interrupt = GracefulInterrupt() if (handle_signals and checkpoint_dir
                                         is not None) else None
+
+    def _obs_extra_state() -> dict:
+        prof = active_profiler()
+        if prof is None:
+            return {}
+        return {"metrics": prof.metrics.state_dict()}
+
     checkpointer = None
     if checkpoint_dir is not None:
         checkpointer = TrainingCheckpointer(
@@ -185,7 +207,8 @@ def run_training(method: str, campus_name: str,
             manifest_extra={"method": method, "campus": campus_name,
                             "preset": preset_obj.name, "seed": seed,
                             "num_envs": num_envs},
-            telemetry=telemetry, interrupt=interrupt)
+            telemetry=telemetry, interrupt=interrupt,
+            extra_state=_obs_extra_state)
 
     def callback(record) -> None:
         if telemetry is not None:
@@ -196,7 +219,8 @@ def run_training(method: str, campus_name: str,
     from contextlib import nullcontext
 
     t_train = time.perf_counter()
-    with (interrupt if interrupt is not None else nullcontext()):
+    with (interrupt if interrupt is not None else nullcontext()), \
+            obs_scope("train"):
         agent.train(total - iterations_done, preset_obj.episodes_per_iteration,
                     callback=callback if "callback" in sig else None,
                     **train_kwargs)

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import csv
 import json
+import math
+import warnings
 from collections import deque
 from pathlib import Path
 
@@ -26,6 +28,7 @@ class MovingAverage:
         self._sum = 0.0
 
     def update(self, value: float) -> float:
+        """Fold one observation in; returns the updated average."""
         if len(self._values) == self.window:
             self._sum -= self._values[0]
         self._values.append(float(value))
@@ -34,6 +37,7 @@ class MovingAverage:
 
     @property
     def value(self) -> float:
+        """Current average over the window (0.0 before any update)."""
         if not self._values:
             return 0.0
         return self._sum / len(self._values)
@@ -62,6 +66,7 @@ class TrainingLogger:
         self._averages: dict[str, MovingAverage] = {}
         self.window = window
         self.count = 0
+        self._warned_nonfinite = False
 
     # Both GARL's TrainRecord objects and MADDPG's plain dicts arrive here.
     def __call__(self, record) -> None:
@@ -77,6 +82,7 @@ class TrainingLogger:
         self.count += 1
 
     def _write(self, payload: dict) -> None:
+        payload = self._drop_nonfinite(payload)
         with open(self.jsonl_path, "a") as fh:
             fh.write(json.dumps(payload) + "\n")
         if self.csv_path is not None:
@@ -90,6 +96,31 @@ class TrainingLogger:
             if key.startswith("metric_") and isinstance(value, (int, float)):
                 name = key[len("metric_"):]
                 self._averages.setdefault(name, MovingAverage(self.window)).update(value)
+
+    def _drop_nonfinite(self, payload: dict) -> dict:
+        """Replace NaN/±inf values with ``None`` (JSON ``null``).
+
+        ``json.dumps`` would happily emit bare ``NaN``/``Infinity``
+        tokens, which are not JSON and break every downstream consumer
+        of ``train.jsonl``.  The substitution warns once per logger —
+        a non-finite metric usually means training just diverged.
+        """
+        if not any(isinstance(v, float) and not math.isfinite(v)
+                   for v in payload.values()):
+            return payload
+        clean = {}
+        for key, value in payload.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                if not self._warned_nonfinite:
+                    self._warned_nonfinite = True
+                    warnings.warn(
+                        f"TrainingLogger: non-finite value {value!r} for "
+                        f"{key!r} recorded as null (further occurrences "
+                        f"will be silent)", RuntimeWarning, stacklevel=3)
+                clean[key] = None
+            else:
+                clean[key] = value
+        return clean
 
     def smoothed(self, metric: str) -> float:
         """Moving average of a metric over the last ``window`` iterations."""

@@ -51,6 +51,7 @@ class Module:
 
     # -- discovery ------------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
         for name, value in vars(self).items():
             full = f"{prefix}{name}"
             if isinstance(value, Parameter):
@@ -65,9 +66,11 @@ class Module:
                         yield from item.named_parameters(f"{full}.{i}.")
 
     def parameters(self) -> list[Parameter]:
+        """Every parameter of this module and its submodules."""
         return [p for _, p in self.named_parameters()]
 
     def modules(self) -> Iterator["Module"]:
+        """Yield this module, then every registered submodule, depth-first."""
         yield self
         for value in vars(self).values():
             if isinstance(value, Module):
@@ -79,25 +82,31 @@ class Module:
 
     # -- training state -------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively; returns ``self`` for chaining."""
         for module in self.modules():
             module.training = mode
         return self
 
     def eval(self) -> "Module":
+        """Shortcut for ``train(False)``."""
         return self.train(False)
 
     def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear every parameter's gradient (dropped, or zero-filled)."""
         for p in self.parameters():
             p.zero_grad(set_to_none=set_to_none)
 
     def num_parameters(self) -> int:
+        """Total count of scalar parameters."""
         return sum(p.size for p in self.parameters())
 
     # -- (de)serialisation ----------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Dotted-name -> copied-array snapshot of all parameters."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load a :meth:`state_dict` snapshot; strict on names and shapes."""
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -112,6 +121,7 @@ class Module:
 
     # -- call protocol ----------------------------------------------------
     def forward(self, *args, **kwargs):
+        """Compute the module's output (subclasses override)."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
@@ -161,6 +171,7 @@ class Conv2d(Module):
 
 
 class MaxPool2d(Module):
+    """Max pooling over ``kernel``-sized windows of (N, C, H, W) input."""
     def __init__(self, kernel: int = 2, stride: int | None = None):
         super().__init__()
         self.kernel = kernel
@@ -179,21 +190,25 @@ class Flatten(Module):
 
 
 class ReLU(Module):
+    """Elementwise ``max(x, 0)`` activation."""
     def forward(self, x: Tensor) -> Tensor:
         return as_tensor(x).relu()
 
 
 class Tanh(Module):
+    """Elementwise hyperbolic-tangent activation."""
     def forward(self, x: Tensor) -> Tensor:
         return as_tensor(x).tanh()
 
 
 class Sigmoid(Module):
+    """Elementwise logistic-sigmoid activation."""
     def forward(self, x: Tensor) -> Tensor:
         return as_tensor(x).sigmoid()
 
 
 class LeakyReLU(Module):
+    """Leaky ReLU activation: ``x if x > 0 else slope * x``."""
     def __init__(self, slope: float = 0.01):
         super().__init__()
         self.slope = slope

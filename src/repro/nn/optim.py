@@ -44,6 +44,7 @@ class Optimizer:
             p.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
+        """Apply one update from the accumulated gradients (subclasses override)."""
         raise NotImplementedError
 
     # -- (de)serialisation ----------------------------------------------

@@ -140,22 +140,27 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """The underlying array's shape."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     @property
     def dtype(self):
+        """The underlying numpy dtype."""
         return self.data.dtype
 
     @property
     def T(self) -> "Tensor":
+        """Transpose (reverses all axes); alias for ``transpose()``."""
         return self.transpose()
 
     def __len__(self) -> int:
@@ -170,6 +175,7 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        """The single element as a Python float."""
         return float(self.data.item())
 
     def detach(self) -> "Tensor":
@@ -368,6 +374,7 @@ class Tensor:
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
+        """Elementwise ``e**x``."""
         out = self._make_child(np.exp(self.data), (self,))
 
         def _backward() -> None:
@@ -378,6 +385,7 @@ class Tensor:
         return out
 
     def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
         out = self._make_child(np.log(self.data), (self,))
 
         def _backward() -> None:
@@ -388,9 +396,11 @@ class Tensor:
         return out
 
     def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
         return self**0.5
 
     def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
         out = self._make_child(np.tanh(self.data), (self,))
 
         def _backward() -> None:
@@ -401,6 +411,7 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid ``1 / (1 + e**-x)``."""
         sig = 1.0 / (1.0 + np.exp(-self.data))
         out = self._make_child(sig, (self,))
 
@@ -412,6 +423,7 @@ class Tensor:
         return out
 
     def relu(self) -> "Tensor":
+        """Elementwise ``max(x, 0)``."""
         out = self._make_child(np.maximum(self.data, 0.0), (self,))
 
         def _backward() -> None:
@@ -422,6 +434,7 @@ class Tensor:
         return out
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
+        """Elementwise ``x if x > 0 else slope * x``."""
         out = self._make_child(np.where(self.data > 0, self.data, slope * self.data), (self,))
 
         def _backward() -> None:
@@ -432,6 +445,7 @@ class Tensor:
         return out
 
     def abs(self) -> "Tensor":
+        """Elementwise absolute value."""
         out = self._make_child(np.abs(self.data), (self,))
 
         def _backward() -> None:
@@ -457,6 +471,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when None)."""
         out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
 
         def _backward() -> None:
@@ -474,6 +489,7 @@ class Tensor:
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all elements when None)."""
         if axis is None:
             count = self.data.size
         else:
@@ -482,6 +498,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient flows to the argmax elements."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         out = self._make_child(out_data, (self,))
 
@@ -508,12 +525,14 @@ class Tensor:
         return out
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum over ``axis``; gradient flows to the argmin elements."""
         return -((-self).max(axis=axis, keepdims=keepdims))
 
     # ------------------------------------------------------------------
     # Shape manipulation
     # ------------------------------------------------------------------
     def reshape(self, *shape) -> "Tensor":
+        """Same elements in a new shape (one dimension may be -1)."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out = self._make_child(self.data.reshape(shape), (self,))
@@ -526,9 +545,11 @@ class Tensor:
         return out
 
     def flatten(self) -> "Tensor":
+        """Reshape to one dimension."""
         return self.reshape(-1)
 
     def transpose(self, *axes) -> "Tensor":
+        """Permute axes (reversed order when ``axes`` is empty)."""
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -544,6 +565,7 @@ class Tensor:
         return out
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
+        """Exchange axes ``a`` and ``b``."""
         axes = list(range(self.data.ndim))
         axes[a], axes[b] = axes[b], axes[a]
         return self.transpose(*axes)
@@ -561,6 +583,7 @@ class Tensor:
         return out
 
     def expand_dims(self, axis: int) -> "Tensor":
+        """Insert a length-1 axis at ``axis``."""
         out = self._make_child(np.expand_dims(self.data, axis), (self,))
 
         def _backward() -> None:
@@ -571,6 +594,7 @@ class Tensor:
         return out
 
     def squeeze(self, axis: int | None = None) -> "Tensor":
+        """Drop length-1 axes (all of them, or just ``axis``)."""
         out = self._make_child(np.squeeze(self.data, axis=axis), (self,))
 
         def _backward() -> None:
@@ -584,6 +608,7 @@ class Tensor:
     # Composite ops
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis``."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         soft = exp / exp.sum(axis=axis, keepdims=True)
@@ -600,6 +625,7 @@ class Tensor:
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out = self._make_child(shifted - logsumexp, (self,))
@@ -622,14 +648,17 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+        """All-zeros tensor of the given shape."""
         return Tensor(np.zeros(shape), requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape, requires_grad: bool = False) -> "Tensor":
+        """All-ones tensor of the given shape."""
         return Tensor(np.ones(shape), requires_grad=requires_grad)
 
     @staticmethod
     def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate tensors along an existing axis."""
         tensors = [as_tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
         out = tensors[0]._make_child(data, tensors)
@@ -650,6 +679,7 @@ class Tensor:
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new axis."""
         tensors = [as_tensor(t) for t in tensors]
         data = np.stack([t.data for t in tensors], axis=axis)
         out = tensors[0]._make_child(data, tensors)
@@ -665,6 +695,7 @@ class Tensor:
 
     @staticmethod
     def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
+        """Select from ``a`` where ``condition`` else ``b``."""
         a, b = as_tensor(a), as_tensor(b)
         cond = np.asarray(condition, dtype=bool)
         out = a._make_child(np.where(cond, a.data, b.data), (a, b))
@@ -680,10 +711,12 @@ class Tensor:
 
     @staticmethod
     def maximum(a: "Tensor", b: "Tensor") -> "Tensor":
+        """Elementwise maximum of two tensors."""
         a, b = as_tensor(a), as_tensor(b)
         return Tensor.where(a.data >= b.data, a, b)
 
     @staticmethod
     def minimum(a: "Tensor", b: "Tensor") -> "Tensor":
+        """Elementwise minimum of two tensors."""
         a, b = as_tensor(a), as_tensor(b)
         return Tensor.where(a.data <= b.data, a, b)

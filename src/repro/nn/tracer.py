@@ -62,12 +62,19 @@ def active_trace() -> "trace | None":
     return _ACTIVE
 
 
-def _creation_site() -> str:
-    """First stack frame outside the engine, as ``path:line in func``."""
+def _creation_site(extra_skip: tuple = ()) -> str:
+    """First stack frame outside the engine, as ``path:line in func``.
+
+    ``extra_skip`` lets :class:`trace` subclasses that add their own
+    frames to the record path (e.g. ``repro.obs.opprof.TimedTrace``)
+    exclude those files from the attribution walk.
+    """
     for frame in reversed(traceback.extract_stack()):
         fname = frame.filename.replace("\\", "/")
         base = fname.rsplit("/", 1)[-1]
         if "repro/nn/" in fname and base in _ENGINE_FILES:
+            continue
+        if extra_skip and base in extra_skip:
             continue
         return f"{fname}:{frame.lineno} in {frame.name}"
     return "<unknown>"
@@ -103,6 +110,10 @@ class trace:
     scopes would silently attribute inner ops to the outer tape.
     """
 
+    # Subclasses whose ``record_op`` override adds stack frames list their
+    # file names here so site attribution skips them (see _creation_site).
+    _extra_site_skip: tuple = ()
+
     def __init__(self, site_provenance: bool = True):
         # site_provenance=False skips the stack walk per op (used by the
         # overhead benchmark to isolate the record-keeping cost).
@@ -129,7 +140,8 @@ class trace:
         if op is None:
             # record_op <- _make_child <- the op method: two frames up.
             op = sys._getframe(2).f_code.co_name.strip("_")
-        site = _creation_site() if self._sites else "<untracked>"
+        site = (_creation_site(self._extra_site_skip) if self._sites
+                else "<untracked>")
         rec = TapeRecord(child, op, site, self._phase, tuple(parents))
         self.records.append(rec)
         self._by_id[id(child)] = rec

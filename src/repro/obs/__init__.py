@@ -1,0 +1,65 @@
+"""``repro.obs`` — the observability layer: profiling + metrics.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* **Scope timers** (:mod:`repro.obs.scope`) — ``with scope("rollout"):``
+  hierarchical wall-time attribution over the training loop, compiled
+  to a no-op when no :class:`Profiler` is installed.
+* **Per-op autodiff profiler** (:mod:`repro.obs.opprof`) —
+  :func:`profile_ops` reuses the graphcheck tape tracer to attribute
+  time, bytes and estimated FLOPs to individual engine ops.
+* **Metrics registry** (:mod:`repro.obs.metrics`) — counters, gauges
+  and histograms that checkpoint/resume alongside training state.
+
+Exporters (:mod:`repro.obs.export`) serialise all of it as a Chrome
+``trace_event`` file (open in Perfetto), JSONL, or plain-text top-N
+tables.  The ``repro profile`` CLI subcommand (and ``repro train
+--profile``) drive the whole stack; the CLI glue lives in
+:mod:`repro.obs.cli`, deliberately not imported here so that importing
+``repro.obs`` from the instrumented hot paths stays dependency-free.
+"""
+
+from .export import (
+    chrome_trace_events,
+    format_op_table,
+    format_top_table,
+    write_chrome_trace,
+    write_profile_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .opprof import OpProfile, OpStats, TimedTrace, estimate_flops, profile_ops
+from .scope import (
+    Profiler,
+    ScopeStats,
+    active_profiler,
+    counter_add,
+    gauge_set,
+    histogram_observe,
+    is_profiling,
+    scope,
+)
+
+__all__ = [
+    "Profiler",
+    "ScopeStats",
+    "scope",
+    "counter_add",
+    "gauge_set",
+    "histogram_observe",
+    "is_profiling",
+    "active_profiler",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "OpProfile",
+    "OpStats",
+    "TimedTrace",
+    "profile_ops",
+    "estimate_flops",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_profile_jsonl",
+    "format_top_table",
+    "format_op_table",
+]

@@ -133,6 +133,58 @@ class TestTrainingLogger:
             logger.smoothed("nope")
 
 
+class TestNonFiniteValues:
+    """NaN/±inf metric values are recorded as JSON null, warning once."""
+
+    def test_nan_and_inf_become_null(self, tmp_path):
+        logger = TrainingLogger(tmp_path / "log.jsonl")
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            logger({"iteration": 0,
+                    "metrics": {"efficiency": float("nan"),
+                                "psi": float("inf"), "xi": 0.5},
+                    "losses": {}})
+        entries = read_jsonl_log(tmp_path / "log.jsonl")
+        assert entries[0]["metric_efficiency"] is None
+        assert entries[0]["metric_psi"] is None
+        assert entries[0]["metric_xi"] == 0.5
+        # The file must be strict JSON (no bare NaN/Infinity tokens).
+        import json
+
+        for line in (tmp_path / "log.jsonl").read_text().splitlines():
+            json.loads(line)
+
+    def test_warns_only_once(self, tmp_path):
+        import warnings
+
+        logger = TrainingLogger(tmp_path / "log.jsonl")
+        with pytest.warns(RuntimeWarning):
+            logger({"iteration": 0, "metrics": {"a": float("nan")},
+                    "losses": {}})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            logger({"iteration": 1, "metrics": {"a": float("nan")},
+                    "losses": {}})
+        entries = read_jsonl_log(tmp_path / "log.jsonl")
+        assert [e["metric_a"] for e in entries] == [None, None]
+
+    def test_finite_payloads_untouched(self, tmp_path):
+        # The all-finite fast path returns the payload object unchanged,
+        # keeping telemetry bytes identical to pre-fix logs (the
+        # resume ≡ uninterrupted machinery depends on byte equality).
+        logger = TrainingLogger(tmp_path / "log.jsonl")
+        payload = {"iteration": 0, "metric_a": 0.5}
+        assert logger._drop_nonfinite(payload) is payload
+
+    def test_nonfinite_skipped_by_moving_average(self, tmp_path):
+        logger = TrainingLogger(tmp_path / "log.jsonl")
+        with pytest.warns(RuntimeWarning):
+            logger({"iteration": 0,
+                    "metrics": {"a": 1.0, "b": float("nan")}, "losses": {}})
+        assert logger.smoothed("a") == 1.0
+        with pytest.raises(KeyError):
+            logger.smoothed("b")  # null is not folded into averages
+
+
 class TestRunMethodSeeds:
     def test_integration_tiny(self):
         from repro.experiments import ScalePreset, run_method_seeds

@@ -1,0 +1,131 @@
+"""Metrics registry: semantics, state round-trip, checkpoint survival."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Profiler
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("steps")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter("steps").add(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("lr")
+        g.set(1.0)
+        g.set(0.5)
+        assert g.value == 0.5
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # <=1, <=10, overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(106.5 / 4)
+
+    def test_empty_summary(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.as_dict()["min"] == 0.0 and h.as_dict()["max"] == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_as_dict_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(2)
+        reg.gauge("b").set(0.1)
+        reg.histogram("c").observe(1.5)
+        json.dumps(reg.as_dict())  # must not raise
+
+    def test_state_dict_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("env/steps").add(120)
+        reg.gauge("train/lr").set(3e-4)
+        for v in (0.1, 0.2, 50.0):
+            reg.histogram("loss").observe(v)
+
+        restored = MetricsRegistry()
+        restored.load_state_dict(json.loads(json.dumps(reg.state_dict())))
+        assert restored.as_dict() == reg.as_dict()
+        # The restored registry keeps accumulating correctly.
+        restored.counter("env/steps").add(1)
+        assert restored.counter("env/steps").value == 121
+        restored.histogram("loss").observe(0.3)
+        assert restored.histogram("loss").count == 4
+
+    def test_load_into_mid_run_keeps_unrelated_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("untouched").add(7)
+        reg.load_state_dict({"counters": {"restored": 3.0}})
+        assert reg.counter("untouched").value == 7
+        assert reg.counter("restored").value == 3
+
+
+class TestCheckpointSurvival:
+    """The registry rides along in training checkpoints (extra_state)."""
+
+    CFG = dict(num_ugvs=2, num_uavs_per_ugv=1, seed=0, train_iterations=2)
+
+    def test_registry_saved_and_restored_across_resume(self, tmp_path):
+        from repro.experiments import run_training
+        from repro.experiments.checkpoint import find_latest
+
+        run_dir = tmp_path / "run"
+        with Profiler(keep_events=False) as prof:
+            run_training("garl", "kaist", "smoke", checkpoint_dir=run_dir,
+                         save_every=1, handle_signals=False, **self.CFG)
+        counters = prof.metrics.as_dict()["counters"]
+        assert counters["train/iterations"] == 2
+        assert counters["env/steps"] > 0
+        assert counters["optim/ugv_steps"] > 0
+
+        manifest = json.loads(
+            (find_latest(run_dir) / "manifest.json").read_text())
+        saved = manifest["extra_state"]["metrics"]
+        assert saved["counters"]["train/iterations"] == 2
+
+        # Resume with a fresh profiler: nothing left to train, but the
+        # checkpointed registry must be restored into it.
+        with Profiler(keep_events=False) as prof2:
+            run_training("garl", "kaist", "smoke", checkpoint_dir=run_dir,
+                         resume="latest", handle_signals=False, **self.CFG)
+        restored = prof2.metrics.as_dict()["counters"]
+        assert restored["train/iterations"] == 2
+        assert restored["env/steps"] == counters["env/steps"]
+
+    def test_no_profiler_leaves_empty_extra_state(self, tmp_path):
+        from repro.experiments import run_training
+        from repro.experiments.checkpoint import find_latest
+
+        run_dir = tmp_path / "run"
+        run_training("garl", "kaist", "smoke", checkpoint_dir=run_dir,
+                     save_every=1, handle_signals=False, **self.CFG)
+        manifest = json.loads(
+            (find_latest(run_dir) / "manifest.json").read_text())
+        assert manifest.get("extra_state", {}) == {}
