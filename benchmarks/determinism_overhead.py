@@ -1,0 +1,132 @@
+"""Measure the determinism checker's per-iteration fingerprint cost.
+
+Two questions about ``repro.analysis.determinism``:
+
+* **fingerprint latency** — how long does one full state fingerprint
+  (policy params, trainer state, env digest, telemetry row) take, and
+  what fraction of a training iteration is that?  The lockstep bisector
+  fingerprints after *every* iteration, so this ratio bounds how much
+  slower ``repro check-determinism`` is than two plain runs.
+* **end-to-end cost** — wall-time of a full ``check_determinism`` pass
+  (two lockstep runs + snapshots + fingerprints) against two plain
+  same-budget training runs.
+
+Results land in ``BENCH_determinism.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/determinism_overhead.py
+
+``--quick`` runs a reduced matrix, skips the JSON write unless
+``--write`` is also given, and exits non-zero if fingerprinting costs
+5% or more of an iteration — the CI regression gate keeping the
+checker's instrumentation effectively free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.determinism.bisector import check_determinism
+from repro.analysis.determinism.fingerprint import fingerprint_agent
+from repro.experiments.runner import build_agent
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GATE_PCT = 5.0
+
+
+def _make_agent(num_ugvs: int = 2, num_uavs_per_ugv: int = 1):
+    return build_agent("garl", "kaist", "smoke", num_ugvs=num_ugvs,
+                       num_uavs_per_ugv=num_uavs_per_ugv, seed=0)
+
+
+def bench_fingerprint(iterations: int, reps: int) -> dict:
+    """Fingerprint latency vs. training-iteration latency."""
+    agent = _make_agent()
+    agent.train(1)  # warmup (campus cache, first-touch allocations)
+    t0 = time.perf_counter()
+    agent.train(iterations)
+    iter_seconds = (time.perf_counter() - t0) / iterations
+
+    fingerprint_agent(agent)  # warmup
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fingerprint_agent(agent)
+        times.append(time.perf_counter() - t0)
+    fp_median = statistics.median(times)
+    return {
+        "iterations": iterations,
+        "iter_seconds": iter_seconds,
+        "fingerprint_seconds_median": fp_median,
+        "fingerprint_seconds_max": max(times),
+        "overhead_pct_per_iteration": 100.0 * fp_median / iter_seconds,
+    }
+
+
+def bench_end_to_end(iterations: int) -> dict:
+    """Full check_determinism vs. two plain same-budget runs."""
+    t0 = time.perf_counter()
+    for seed_run in range(2):
+        agent = _make_agent()
+        agent.train(iterations)
+    two_runs = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    report = check_determinism(iterations=iterations, num_ugvs=2,
+                               num_uavs_per_ugv=1, agent_factory=_make_agent)
+    check_seconds = time.perf_counter() - t0
+    return {
+        "iterations": iterations,
+        "two_plain_runs_seconds": two_runs,
+        "check_seconds": check_seconds,
+        "slowdown_x": check_seconds / two_runs,
+        "equal": report.equal,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced matrix + CI regression gate")
+    parser.add_argument("--write", action="store_true",
+                        help="write BENCH_determinism.json even with --quick")
+    args = parser.parse_args(argv)
+
+    iterations = 3 if args.quick else 10
+    reps = 10 if args.quick else 50
+
+    fp = bench_fingerprint(iterations, reps)
+    print(f"fingerprint   iter={fp['iter_seconds'] * 1e3:.1f} ms  "
+          f"fingerprint={fp['fingerprint_seconds_median'] * 1e3:.2f} ms  "
+          f"overhead/iter={fp['overhead_pct_per_iteration']:.2f}%")
+
+    e2e = bench_end_to_end(iterations)
+    print(f"end-to-end    2 plain runs={e2e['two_plain_runs_seconds']:.2f} s  "
+          f"check-determinism={e2e['check_seconds']:.2f} s  "
+          f"slowdown={e2e['slowdown_x']:.2f}x  "
+          f"equal={e2e['equal']}")
+
+    results = {"fingerprint": fp, "end_to_end": e2e}
+    if not args.quick or args.write:
+        out = REPO_ROOT / "BENCH_determinism.json"
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"results written to {out}")
+
+    if args.quick and fp["overhead_pct_per_iteration"] >= GATE_PCT:
+        print(f"GATE FAILED: fingerprinting costs "
+              f"{fp['overhead_pct_per_iteration']:.2f}% of an iteration "
+              f">= {GATE_PCT}%", file=sys.stderr)
+        return 1
+    if not e2e["equal"]:
+        print("GATE FAILED: check_determinism reported divergence on a "
+              "clean build", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

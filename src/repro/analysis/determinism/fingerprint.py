@@ -1,0 +1,102 @@
+"""Per-iteration state fingerprinting for the divergence bisector.
+
+A fingerprint is a small ``{component: digest}`` dict capturing every
+piece of state that must match between two same-seed runs at an
+iteration boundary:
+
+* ``params``   — every policy parameter, byte-exact (via
+  :func:`repro.nn.serialize.state_digest` over the agent's policy
+  ``state_dict`` trees).
+* ``trainer``  — optimizer moments/step counts, schedules, sampling rng.
+* ``env``      — the env's rng stream + kinematic state digest (and the
+  per-replica digests when vectorized collection has run).
+* ``telemetry``— the iteration's training record, canonicalised exactly
+  as ``TrainingLogger`` would serialise it.
+* ``metrics``  — the live observability registry, when one is active.
+
+Comparing whole fingerprints answers *whether* two runs diverged at an
+iteration; comparing component-wise answers *where* the divergence
+entered the state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ...nn.serialize import state_digest
+
+__all__ = ["fingerprint_agent", "record_payload", "diff_components"]
+
+
+def record_payload(record, count: int = 0) -> dict:
+    """Canonical telemetry payload for a train record.
+
+    Mirrors ``TrainingLogger.__call__``'s field layout (including the
+    non-finite → ``None`` substitution) so the fingerprint certifies the
+    exact bytes an on-disk ``train.jsonl`` row would hold.
+    """
+    if record is None:
+        return {}
+    if hasattr(record, "metrics"):
+        payload = {"iteration": getattr(record, "iteration", count),
+                   **{f"metric_{k}": v for k, v in record.metrics.items()},
+                   **{f"loss_{k}": v
+                      for k, v in getattr(record, "losses", {}).items()}}
+    else:
+        payload = {"iteration": record.get("iteration", count)}
+        payload.update({f"metric_{k}": v
+                        for k, v in record.get("metrics", {}).items()})
+        payload.update({f"loss_{k}": v
+                        for k, v in record.get("losses", {}).items()})
+    return {k: (None if isinstance(v, float) and not math.isfinite(v) else v)
+            for k, v in payload.items()}
+
+
+def fingerprint_agent(agent, record=None) -> dict[str, str]:
+    """Fingerprint one agent's full training state at an iteration boundary."""
+    fp: dict[str, str] = {}
+
+    ugv = getattr(agent, "ugv_policy", None)
+    uav = getattr(agent, "uav_policy", None)
+    params = {}
+    if ugv is not None and hasattr(ugv, "state_dict"):
+        params["ugv"] = ugv.state_dict()
+    if uav is not None and hasattr(uav, "state_dict"):
+        params["uav"] = uav.state_dict()
+    if not params and hasattr(agent, "state_dict"):
+        params["agent"] = agent.state_dict()
+    if params:
+        fp["params"] = state_digest(params)
+
+    trainer = getattr(agent, "trainer", None)
+    if trainer is not None and hasattr(trainer, "state_dict"):
+        state = dict(trainer.state_dict())
+        state.pop("env_rng", None)  # reported under the env component
+        state.pop("venv", None)
+        fp["trainer"] = state_digest(state)
+
+    env = getattr(agent, "env", None)
+    if env is not None and hasattr(env, "state_digest"):
+        env_part: dict = {"env": env.state_digest()}
+        venv = getattr(trainer, "_venv", None)
+        if venv is not None:
+            env_part["replicas"] = venv.state_digests()
+        fp["env"] = state_digest(env_part)
+
+    if record is not None:
+        fp["telemetry"] = state_digest(
+            json.loads(json.dumps(record_payload(record))))
+
+    from ...obs.scope import active_profiler
+
+    prof = active_profiler()
+    if prof is not None:
+        fp["metrics"] = prof.metrics.digest()
+    return fp
+
+
+def diff_components(fp_a: dict[str, str], fp_b: dict[str, str]) -> list[str]:
+    """Component names whose digests differ (missing counts as differing)."""
+    keys = sorted(set(fp_a) | set(fp_b))
+    return [k for k in keys if fp_a.get(k) != fp_b.get(k)]

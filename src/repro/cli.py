@@ -17,6 +17,9 @@ Commands mirror the paper's experiments:
 * ``profile``      — profile a short training run: hierarchical scope
                      timers, per-op autodiff table, Chrome trace (see
                      docs/observability.md).
+* ``check-determinism`` — static DT rules, whole-program shared-state
+                     map, and a two-run runtime divergence bisector
+                     naming the first divergent iteration and op.
 """
 
 from __future__ import annotations
@@ -153,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arguments for the graphcheck runner "
                            "(--methods, --dot, --json, --show-cse, ...)")
 
+    p_det = sub.add_parser("check-determinism", add_help=False,
+                           help="static DT rules + shared-state map + "
+                                "two-run runtime divergence bisection "
+                                "(exit 1 on findings)")
+    p_det.add_argument("det_args", nargs=argparse.REMAINDER,
+                       help="arguments for the determinism analyzer "
+                            "(--quick, --num-envs, --state-map, ...)")
+
     from .obs.cli import add_profile_parser
 
     add_profile_parser(sub)
@@ -167,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.graphcheck import main as graphcheck_main
 
         return graphcheck_main(argv[1:])
+    if argv and argv[0] == "check-determinism":
+        from .analysis.determinism import main as determinism_main
+
+        return determinism_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.command == "lint":
@@ -181,6 +196,11 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.graphcheck import main as graphcheck_main
 
         return graphcheck_main(args.gc_args)
+
+    if args.command == "check-determinism":
+        from .analysis.determinism import main as determinism_main
+
+        return determinism_main(args.det_args)
 
     preset = get_preset(args.preset)
 

@@ -102,6 +102,25 @@ class AirGroundEnv:
         self._seed = state["seed"]
         self.rng = rng_from_state(state["bit_generator"])
 
+    def state_digest(self) -> str:
+        """Byte-exact digest of the env's resumable + kinematic state.
+
+        Covers the rng stream position, the timeslot, and every entity's
+        live state (UGV/UAV positions, batteries, sensor data levels) —
+        two envs with equal digests step identically from here on.  Used
+        by ``repro check-determinism`` to fingerprint iterations.
+        """
+        from ..nn.serialize import state_digest
+
+        return state_digest({
+            "rng": self.rng_state(),
+            "t": int(self.t),
+            "ugv_pos": np.array([ugv.position for ugv in self.ugvs]),
+            "uav_pos": np.array([uav.position for uav in self.uavs]),
+            "uav_energy": np.array([uav.energy for uav in self.uavs]),
+            "sensor_data": np.array([s.remaining for s in self.sensors]),
+        })
+
     # ------------------------------------------------------------------
     def attach_event_log(self, log: EventLog | None) -> None:
         """Attach (or detach with None) a structured event log."""

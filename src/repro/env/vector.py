@@ -210,6 +210,16 @@ class VecAirGroundEnv:
         for env, state in zip(self.envs, states):
             env.set_rng_state(state)
 
+    def state_digests(self) -> list[str]:
+        """Per-replica state digests (see ``AirGroundEnv.state_digest``).
+
+        Replica order is part of the contract: ``repro check-determinism``
+        compares these positionally, so a replica swap — ordering
+        nondeterminism in a future worker pool — shows up as a diff even
+        when the multiset of replica states matches.
+        """
+        return [env.state_digest() for env in self.envs]
+
     # ------------------------------------------------------------------
     def metrics(self) -> MetricSnapshot:
         """Batched reduction: mean of every replica's current metrics."""

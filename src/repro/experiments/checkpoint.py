@@ -50,7 +50,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..nn.serialize import atomic_savez, atomic_write_bytes
+from ..nn.serialize import atomic_savez, atomic_write_bytes, state_digest
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -225,6 +225,11 @@ def write_checkpoint(directory: str | Path, state: dict,
             "schema_version": SCHEMA_VERSION,
             "created_unix": time.time(),
             "code_hashes": code_hashes(),
+            # Byte-exact digest of the full state tree: two checkpoints
+            # from same-seed runs at the same iteration must carry equal
+            # digests, so `repro check-determinism` (and humans with two
+            # manifests) can compare runs without unpacking arrays.
+            "state_digest": state_digest(state),
             **(manifest or {}),
             "state": jsonable,
         }

@@ -27,8 +27,8 @@ from .presets import ScalePreset, get_preset
 from .records import ResultRecord
 from .telemetry import TrainingLogger
 
-__all__ = ["run_method", "run_training", "build_env", "campus_cache_clear",
-           "get_campus", "method_seed", "replica_seed"]
+__all__ = ["run_method", "run_training", "build_agent", "build_env",
+           "campus_cache_clear", "get_campus", "method_seed", "replica_seed"]
 
 # Campus construction is deterministic but not free; cache per (name, scale).
 _CAMPUS_CACHE: dict[tuple[str, float], tuple[CampusMap, StopGraph]] = {}
@@ -39,13 +39,16 @@ def get_campus(name: str, scale: float) -> tuple[CampusMap, StopGraph]:
     key = (name, scale)
     if key not in _CAMPUS_CACHE:
         campus = build_campus(name, scale=scale)
-        _CAMPUS_CACHE[key] = (campus, build_stop_graph(campus))
+        # Deliberate process-local cache of immutable values; listed as a
+        # HOT site in the check-determinism shared-state map — workers
+        # must rebuild it per process, never share it.
+        _CAMPUS_CACHE[key] = (campus, build_stop_graph(campus))  # reprolint: disable=DT004
     return _CAMPUS_CACHE[key]
 
 
 def campus_cache_clear() -> None:
     """Drop all cached campus/stop-graph pairs (test isolation hook)."""
-    _CAMPUS_CACHE.clear()
+    _CAMPUS_CACHE.clear()  # reprolint: disable=DT004
 
 
 def method_seed(method: str, seed: int) -> int:
@@ -67,6 +70,24 @@ def build_env(campus_name: str, preset: ScalePreset, num_ugvs: int,
     return AirGroundEnv(campus, env_cfg, stops=stops, seed=seed)
 
 
+def build_agent(method: str, campus_name: str,
+                preset: str | ScalePreset = "smoke", num_ugvs: int = 4,
+                num_uavs_per_ugv: int = 2, seed: int = 0,
+                garl_config: GARLConfig | None = None):
+    """Construct the fully seeded agent exactly as training runs do.
+
+    The single construction path shared by :func:`run_method`,
+    :func:`run_training` and the determinism bisector's two-run setup —
+    env seeding and the per-method config seed derivation live here so
+    every consumer builds bit-identical agents from the same inputs.
+    """
+    preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
+    config = (garl_config
+              or preset_obj.garl_config()).replace(seed=method_seed(method, seed))
+    return make_agent(method, env, config)
+
+
 def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke",
                num_ugvs: int = 4, num_uavs_per_ugv: int = 2, seed: int = 0,
                garl_config: GARLConfig | None = None,
@@ -84,10 +105,8 @@ def run_method(method: str, campus_name: str, preset: str | ScalePreset = "smoke
     """
     preset_obj = get_preset(preset) if isinstance(preset, str) else preset
     with obs_scope("setup"):
-        env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
-        config = (garl_config
-                  or preset_obj.garl_config()).replace(seed=method_seed(method, seed))
-        agent = make_agent(method, env, config)
+        agent = build_agent(method, campus_name, preset_obj, num_ugvs,
+                            num_uavs_per_ugv, seed, garl_config)
 
     iterations = (train_iterations if train_iterations is not None
                   else preset_obj.train_iterations)
@@ -145,12 +164,13 @@ def run_training(method: str, campus_name: str,
     inspect the trained agent without retraining.
     """
     preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    # Resolve the per-method seeded config here too: the checkpoint
+    # fingerprint below must hash exactly what the agent was built with.
+    config = (garl_config
+              or preset_obj.garl_config()).replace(seed=method_seed(method, seed))
     with obs_scope("setup"):
-        env = build_env(campus_name, preset_obj, num_ugvs, num_uavs_per_ugv,
-                        seed)
-        config = (garl_config or preset_obj.garl_config()).replace(
-            seed=method_seed(method, seed))
-        agent = make_agent(method, env, config)
+        agent = build_agent(method, campus_name, preset_obj, num_ugvs,
+                            num_uavs_per_ugv, seed, config)
 
     total = (train_iterations if train_iterations is not None
              else preset_obj.train_iterations)

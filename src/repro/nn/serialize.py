@@ -30,6 +30,8 @@ __all__ = [
     "rng_state",
     "rng_from_state",
     "set_rng_state",
+    "array_digest",
+    "state_digest",
 ]
 
 
@@ -87,6 +89,55 @@ def atomic_savez(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
     buf = io.BytesIO()
     np.savez(buf, **arrays)
     return atomic_write_bytes(path, buf.getvalue())
+
+
+# ----------------------------------------------------------------------
+# State fingerprints (determinism analysis)
+# ----------------------------------------------------------------------
+
+def array_digest(arr: np.ndarray) -> str:
+    """Short sha256 digest of an array's dtype, shape and contents.
+
+    Byte-exact: two arrays digest equal iff they are bit-identical, which
+    is the equality the ``repro check-determinism`` bisector certifies.
+    """
+    import hashlib
+
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()[:16]
+
+
+def state_digest(state) -> str:
+    """Canonical digest of a nested state tree (dicts/lists/arrays/scalars).
+
+    Arrays hash by bytes (see :func:`array_digest`), everything else by a
+    sorted-key JSON encoding, so the digest of ``module.state_dict()`` /
+    ``optimizer.state_dict()`` trees is stable across processes and runs.
+    """
+    import hashlib
+
+    def canon(node):
+        if isinstance(node, np.ndarray):
+            return {"__array__": array_digest(node)}
+        if isinstance(node, dict):
+            return {str(k): canon(v) for k, v in sorted(
+                node.items(), key=lambda kv: str(kv[0]))}
+        if isinstance(node, (list, tuple)):
+            return [canon(v) for v in node]
+        if isinstance(node, (np.integer,)):
+            return int(node)
+        if isinstance(node, (np.floating,)):
+            return float(node)
+        if isinstance(node, (np.bool_,)):
+            return bool(node)
+        return node
+
+    blob = json.dumps(canon(state), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------------

@@ -178,6 +178,16 @@ class Tensor:
         """The single element as a Python float."""
         return float(self.data.item())
 
+    def fingerprint(self) -> str:
+        """Byte-exact digest of :attr:`data` (dtype + shape + contents).
+
+        Used by the determinism bisector to compare op outputs between
+        two runs: equal fingerprints certify bit-identical values.
+        """
+        from .serialize import array_digest
+
+        return array_digest(self.data)
+
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor(self.data, requires_grad=False)

@@ -185,6 +185,17 @@ class MetricsRegistry:
                            for n, h in sorted(self._histograms.items())},
         }
 
+    def digest(self) -> str:
+        """Canonical digest of every metric's current value.
+
+        ``repro check-determinism`` folds this into its per-iteration
+        fingerprint: counters/gauges/histograms driven by training code
+        must match between two same-seed runs.
+        """
+        from ..nn.serialize import state_digest
+
+        return state_digest(self.as_dict())
+
     # -- checkpoint round-trip -----------------------------------------
     def state_dict(self) -> dict:
         """Complete JSON-able state (identical layout to :meth:`as_dict`)."""
