@@ -1,0 +1,98 @@
+"""Time the perfcheck analyzer itself: does a full run fit the CI budget?
+
+``repro perfcheck`` is a gate in CI, so the analyzer's own runtime is a
+cost every push pays.  This benchmark times the three components
+separately and the combined run:
+
+* ``static``   — hot-path call-graph index + PF rules over ``src/``;
+* ``trace``    — GARL smoke trace + the PC001/PC002/PC003 IR passes;
+* ``combined`` — what ``repro perfcheck src`` actually does.
+
+Results land in ``BENCH_perfcheck.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/perfcheck_overhead.py
+
+``--quick`` runs one repetition instead of three, skips the JSON write
+unless ``--write`` is also given, and exits non-zero when the combined
+run exceeds the ``GATE_SECONDS`` budget (30 s) — the same number the CI
+job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.perfcheck import run_perfcheck
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GATE_SECONDS = 30.0
+
+
+def timed(reps: int, **kwargs) -> dict:
+    seconds = []
+    findings = suppressions = groups = 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        report = run_perfcheck(paths=["src"], **kwargs)
+        seconds.append(time.perf_counter() - t0)
+        findings = len(report.findings)
+        suppressions = len(report.suppressions)
+        groups = sum(len(t.fusion.groups) for t in report.traces)
+    arr = np.asarray(seconds)
+    return {
+        "reps": reps,
+        "mean_seconds": round(float(arr.mean()), 3),
+        "min_seconds": round(float(arr.min()), 3),
+        "max_seconds": round(float(arr.max()), 3),
+        "findings": findings,
+        "suppressions": suppressions,
+        "fusion_groups": groups,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="one rep per mode; gate on the combined budget")
+    parser.add_argument("--write", action="store_true",
+                        help="write BENCH_perfcheck.json even with --quick")
+    args = parser.parse_args()
+
+    reps = 1 if args.quick else 3
+    static = timed(reps, static=True, trace=False)
+    trace = timed(reps, static=False, trace=True)
+    combined = timed(reps, static=True, trace=True)
+
+    report = {
+        "bench": "perfcheck_overhead",
+        "workload": "PF rules over src/ + GARL smoke trace (kaist, "
+                    "3 UGVs x 1 UAV) through PC001/PC002/PC003",
+        "gate_seconds": GATE_SECONDS,
+        "static_only": static,
+        "trace_only": trace,
+        "combined": combined,
+        "within_budget": combined["max_seconds"] < GATE_SECONDS,
+    }
+    if not args.quick or args.write:
+        out = REPO_ROOT / "BENCH_perfcheck.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        print(f"\nwritten to {out}")
+    else:
+        print(json.dumps(report, indent=2))
+
+    if not report["within_budget"]:
+        print(f"perfcheck exceeded the {GATE_SECONDS:.0f}s budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

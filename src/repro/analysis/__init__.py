@@ -1,6 +1,7 @@
-"""``repro.analysis`` — correctness tooling for the hand-written autodiff stack.
+"""``repro.analysis`` — correctness and performance tooling for the
+hand-written autodiff stack.
 
-Three legs:
+Four pillars, one ``repro check`` meta-command (:mod:`.check`):
 
 * **reprolint** (:mod:`repro.analysis.lint`, :mod:`repro.analysis.rules`) —
   a stdlib-``ast`` static-analysis pass with rules tuned to the classic
@@ -18,9 +19,23 @@ Three legs:
   every parameter, softmax invariants, cross-step tape growth, and
   common-subexpression reporting.  Run it with ``repro graphcheck``.
 
-* the **runtime numerics sanitizer** lives next to the engine in
-  :mod:`repro.nn.anomaly` (``repro.nn.detect_anomaly()``); see
-  ``docs/static_analysis.md`` for the full story.
+* **determinism** (:mod:`repro.analysis.determinism`) — DT source rules
+  against nondeterminism (wall-clock seeds, unordered iteration, global
+  RNG), a whole-program shared-state map from the training entrypoints,
+  and a two-run runtime divergence bisector.  Run it with
+  ``repro check-determinism``.
+
+* **perfcheck** (:mod:`repro.analysis.perfcheck`) — profile-guided
+  performance analysis: PF source rules (per-step array rebuilds,
+  hot-loop allocation, unvectorized loops, quadratic entity scans,
+  dtype-promotion copies) plus PC001–PC003 IR passes (fusion groups,
+  buffer-lifetime arena plan, cross-phase recompute) over a real traced
+  step, ranked by a ``repro profile`` run.  Run it with
+  ``repro perfcheck``.
+
+The **runtime numerics sanitizer** lives next to the engine in
+:mod:`repro.nn.anomaly` (``repro.nn.detect_anomaly()``); see
+``docs/static_analysis.md`` for the full story.
 """
 
 from . import graphcheck

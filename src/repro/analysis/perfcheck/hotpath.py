@@ -1,0 +1,117 @@
+"""Hot-path reachability for the PF lint rules.
+
+PF002 (allocation-in-hot-loop) only fires inside functions that the
+training loop can actually reach — an allocation in a cold plotting
+helper is noise, the same one inside ``step_dynamics`` is a per-step
+cost.  "Reachable" reuses the shared-state analyzer's whole-program
+machinery (PR 6): index every function under the package root, build a
+name-based call graph, and BFS from the training entrypoints
+(``run_training`` / ``run_method`` / ``train``).
+
+The result is a :class:`HotIndex` mapping each source file to the set of
+function *qualnames within that file* that are on the training path, so
+the per-file AST rules can answer "is this function hot?" without
+re-running the whole-program pass per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from ..determinism.sharedstate import (DEFAULT_ENTRYPOINTS, _called_names,
+                                       _module_name)
+
+__all__ = ["HotIndex", "build_hot_index", "local_qualname"]
+
+
+@dataclass
+class HotIndex:
+    """Which functions are reachable from the training entrypoints.
+
+    ``hot`` maps a posix file path (as discovered under ``root``) to the
+    set of function qualnames *local to that file* — ``"Class.method"``
+    or ``"function"`` — that the BFS reached.  Files outside the index
+    (tests, corpus snippets) report every function as hot, which keeps
+    the rule usable standalone and strictly over-approximate.
+    """
+
+    root: str = ""
+    entrypoints: tuple[str, ...] = DEFAULT_ENTRYPOINTS
+    hot: dict[str, set[str]] = field(default_factory=dict)
+    indexed_files: set[str] = field(default_factory=set)
+
+    def is_hot(self, path: str, qualname: str) -> bool:
+        """True when ``qualname`` in ``path`` is on the training path."""
+        key = str(PurePosixPath(path.replace("\\", "/")))
+        if key not in self.indexed_files:
+            return True  # unindexed file: assume hot (over-approximate)
+        return qualname in self.hot.get(key, set())
+
+
+def local_qualname(stack: list[str], name: str) -> str:
+    """Qualname of ``name`` nested under the enclosing class stack."""
+    return ".".join([*stack, name])
+
+
+def build_hot_index(root: str | Path = "src/repro",
+                    entrypoints: tuple[str, ...] = DEFAULT_ENTRYPOINTS,
+                    ) -> HotIndex:
+    """Index ``root`` and BFS the call graph from ``entrypoints``.
+
+    The call graph is name-based, exactly like the shared-state pass: a
+    call to a bare or attribute name reaches every function of that name
+    anywhere in the package.  Over-approximate by construction — a hot
+    marking can be spurious, a cold one cannot.
+    """
+    root = Path(root)
+    index = HotIndex(root=str(root), entrypoints=tuple(entrypoints))
+    functions: dict[str, tuple[str, str, set[str]]] = {}  # qual -> (file, local, calls)
+    by_name: dict[str, list[str]] = {}
+
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            continue
+        module = _module_name(path, root)
+        posix = str(PurePosixPath(str(path).replace("\\", "/")))
+        index.indexed_files.add(posix)
+        index.hot.setdefault(posix, set())
+
+        def _index(fn: ast.AST, local: str) -> None:
+            qual = f"{module}.{local}"
+            functions[qual] = (posix, local, _called_names(fn))
+            by_name.setdefault(fn.name, []).append(qual)
+
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _index(stmt, stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        _index(item, f"{stmt.name}.{item.name}")
+
+    work: deque[str] = deque()
+    reachable: set[str] = set()
+    for ep in entrypoints:
+        for qual in by_name.get(ep, []):
+            if qual not in reachable:
+                reachable.add(qual)
+                work.append(qual)
+    while work:
+        qual = work.popleft()
+        for callee_name in functions[qual][2]:
+            for callee in by_name.get(callee_name, []):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    work.append(callee)
+
+    for qual in reachable:
+        posix, local, _ = functions[qual]
+        index.hot[posix].add(local)
+    return index

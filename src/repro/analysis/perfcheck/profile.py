@@ -1,0 +1,135 @@
+"""Profile ingestion: rank perfcheck findings by measured wall time.
+
+A ``repro profile`` run (PR 5) leaves a JSONL file whose lines carry
+``kind: "scope"`` rows (hierarchical timer paths with self/total
+seconds) and ``kind: "op"`` rows (per-autodiff-op aggregates keyed by
+op, ``annotate()`` label and originating module).  :class:`ProfileIndex`
+loads one such file and answers two attribution queries:
+
+* ``module_seconds(dotted_module)`` — op-table seconds whose creation
+  site lives in that module, plus scope self-seconds whose path mentions
+  the module's package (``env/step`` for ``repro.env.*``).
+* ``op_seconds(op, label, module)`` — per-call seconds for one op kind,
+  with graceful fallback from the exact (op, label, module) row to the
+  op-wide average.
+
+``repro perfcheck --profile run.jsonl`` uses these to order findings
+and fusion groups by *measured* cost, so the report leads with the hot
+paths instead of whichever file sorts first alphabetically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = ["ProfileIndex", "load_profile", "module_of_path"]
+
+
+def module_of_path(path: str) -> str:
+    """Dotted module of a repo source path (``src/repro/env/x.py`` ->
+    ``repro.env.x``); best effort for paths outside ``src``."""
+    posix = PurePosixPath(path.replace("\\", "/"))
+    parts = list(posix.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ProfileIndex:
+    """Aggregated view of one ``repro profile`` JSONL run."""
+
+    path: str = ""
+    wall_seconds: float = 0.0
+    # (op, label, module) -> (seconds, calls)
+    op_rows: dict[tuple[str, str, str], tuple[float, int]] = field(default_factory=dict)
+    # scope path -> self seconds
+    scope_self: dict[str, float] = field(default_factory=dict)
+
+    # -- attribution ----------------------------------------------------
+    def module_seconds(self, module: str) -> float:
+        """Measured seconds attributable to ``module`` (dotted path).
+
+        Sums op rows whose ``module`` column matches a suffix of the
+        dotted path (op rows record ``core.mc_gcn``-style short modules)
+        and scope rows whose path contains one of the module's trailing
+        components (``env`` matches the ``env/step`` scope).
+        """
+        total = 0.0
+        tail = module.split(".")
+        short = ".".join(tail[-2:])
+        for (op, label, row_module), (secs, _calls) in self.op_rows.items():
+            if row_module and (module.endswith(row_module)
+                              or row_module.endswith(short)):
+                total += secs
+        components = {c for c in tail if c not in ("src", "repro")}
+        for scope_path, secs in self.scope_self.items():
+            parts = set(scope_path.replace("/", " ").split())
+            if parts & components:
+                total += secs
+        return total
+
+    def op_seconds_per_call(self, op: str, label: str = "",
+                            module: str = "") -> float:
+        """Seconds/call for one op kind; falls back exact -> label -> op."""
+        row = self.op_rows.get((op, label, module))
+        if row is None and label:
+            matches = [(s, c) for (o, l, _m), (s, c) in self.op_rows.items()
+                       if o == op and l == label]
+            if matches:
+                row = (sum(s for s, _ in matches), sum(c for _, c in matches))
+        if row is None:
+            matches = [(s, c) for (o, _l, _m), (s, c) in self.op_rows.items()
+                       if o == op]
+            if matches:
+                row = (sum(s for s, _ in matches), sum(c for _, c in matches))
+        if row is None or row[1] <= 0:
+            return 0.0
+        return row[0] / row[1]
+
+    def group_seconds(self, ops_labels_modules: list[tuple[str, str, str]]) -> float:
+        """Attributed seconds for a fusion group's member ops."""
+        return sum(self.op_seconds_per_call(op, label, module)
+                   for op, label, module in ops_labels_modules)
+
+    @property
+    def empty(self) -> bool:
+        return not self.op_rows and not self.scope_self
+
+
+def load_profile(path: str | Path) -> ProfileIndex:
+    """Parse a ``repro profile``/``repro train --profile`` JSONL file.
+
+    Unknown line kinds are skipped, so the loader stays compatible with
+    future exporter additions; a malformed line raises ``ValueError``
+    with the offending line number.
+    """
+    index = ProfileIndex(path=str(path))
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            row = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from None
+        kind = row.get("kind")
+        if kind == "meta":
+            index.wall_seconds = float(row.get("wall_seconds", 0.0) or 0.0)
+        elif kind == "scope":
+            index.scope_self[str(row.get("path", ""))] = float(
+                row.get("self_seconds", row.get("total_seconds", 0.0)) or 0.0)
+        elif kind == "op":
+            key = (str(row.get("op", "")), str(row.get("label", "")),
+                   str(row.get("module", "")))
+            secs = float(row.get("seconds", 0.0) or 0.0)
+            calls = int(row.get("calls", 0) or 0)
+            prev = index.op_rows.get(key, (0.0, 0))
+            index.op_rows[key] = (prev[0] + secs, prev[1] + calls)
+    return index

@@ -20,6 +20,11 @@ Commands mirror the paper's experiments:
 * ``check-determinism`` — static DT rules, whole-program shared-state
                      map, and a two-run runtime divergence bisector
                      naming the first divergent iteration and op.
+* ``perfcheck``    — profile-guided performance analysis: PF source
+                     rules plus fusion/buffer/recompute passes over a
+                     traced step (see docs/static_analysis.md).
+* ``check``        — run all four analysis pillars with one summary
+                     table and a combined exit code.
 """
 
 from __future__ import annotations
@@ -164,6 +169,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arguments for the determinism analyzer "
                             "(--quick, --num-envs, --state-map, ...)")
 
+    p_pc = sub.add_parser("perfcheck", add_help=False,
+                          help="PF performance rules + PC001-PC003 "
+                               "fusion/buffer/recompute passes over a "
+                               "traced step (exit 1 on findings)")
+    p_pc.add_argument("pc_args", nargs=argparse.REMAINDER,
+                      help="arguments for the perfcheck driver "
+                           "(paths, --profile, --json, --baseline, ...)")
+
+    p_check = sub.add_parser("check", add_help=False,
+                             help="run all four analysis pillars with one "
+                                  "summary table and a combined exit code")
+    p_check.add_argument("check_args", nargs=argparse.REMAINDER,
+                         help="arguments for the meta-check "
+                              "(--methods, --only, --verbose)")
+
     from .obs.cli import add_profile_parser
 
     add_profile_parser(sub)
@@ -182,6 +202,14 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.determinism import main as determinism_main
 
         return determinism_main(argv[1:])
+    if argv and argv[0] == "perfcheck":
+        from .analysis.perfcheck import main as perfcheck_main
+
+        return perfcheck_main(argv[1:])
+    if argv and argv[0] == "check":
+        from .analysis.check import main as check_main
+
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.command == "lint":
@@ -201,6 +229,16 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.determinism import main as determinism_main
 
         return determinism_main(args.det_args)
+
+    if args.command == "perfcheck":
+        from .analysis.perfcheck import main as perfcheck_main
+
+        return perfcheck_main(args.pc_args)
+
+    if args.command == "check":
+        from .analysis.check import main as check_main
+
+        return check_main(args.check_args)
 
     preset = get_preset(args.preset)
 

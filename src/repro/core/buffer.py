@@ -99,7 +99,10 @@ class UGVRollout:
         rewards = np.asarray(self.rewards)  # (T, U)
         values = np.asarray(self.values)
         dones = np.asarray(self.dones)
-        for agent in range(self.num_agents):
+        # Builds per-timestep Python sample objects (the minibatch unit),
+        # so the element access is the point, not an accident; runs once
+        # per iteration at sample-build time.
+        for agent in range(self.num_agents):  # reprolint: disable=PF003
             adv, ret = compute_gae(rewards[:, agent], values[:, agent], dones, gamma, lam)
             for t in range(len(self)):
                 if not self.actionable[t][agent]:
@@ -151,9 +154,11 @@ class UAVRollout:
         self.close_all()
         samples: list[UAVSample] = []
         for segment in self._segments:
+            # Per-flight-segment GAE arrays, built once per training
+            # iteration (segments are ragged, so no shared buffer fits).
             rewards = np.array([step["reward"] for step in segment])
             values = np.array([step["value"] for step in segment])
-            dones = np.zeros(len(segment), dtype=bool)
+            dones = np.zeros(len(segment), dtype=bool)  # reprolint: disable=PF002
             dones[-1] = True  # docking ends the decision sequence
             adv, ret = compute_gae(rewards, values, dones, gamma, lam)
             for i, step in enumerate(segment):

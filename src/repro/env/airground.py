@@ -30,6 +30,10 @@ from .observation import ObservationBuilder, UAVObservation, UGVObservation
 
 __all__ = ["AirGroundEnv", "StepResult"]
 
+# Shared "no movement" delta for docked/passive UAVs; never mutated
+# (every consumer rebinds, so one instance serves all steps).
+_ZERO_DELTA = np.zeros(2)
+
 
 @dataclass
 class StepResult:
@@ -82,6 +86,12 @@ class AirGroundEnv:
         self._data_scale = 1.0
         self._sensor_scale = 1.0
         self._initial_data = np.zeros(campus.num_sensors)
+        # Sensor positions are static and per-sensor `remaining` only
+        # mutates at the drain site, so both live in preallocated arrays
+        # kept in sync with the Sensor objects by assignment (never
+        # arithmetic) — bit-identical to a per-step rebuild.
+        self._sensor_positions = np.array(campus.sensor_positions, dtype=float)
+        self._sensor_remaining = np.zeros(campus.num_sensors)
 
     # ------------------------------------------------------------------
     def rng_state(self) -> dict:
@@ -112,13 +122,16 @@ class AirGroundEnv:
         """
         from ..nn.serialize import state_digest
 
+        # UGV/UAV kinematic state mutates every timeslot, and this digest
+        # only runs on the check-determinism diagnostic path, so the
+        # rebuilds below are not per-step training cost.
         return state_digest({
             "rng": self.rng_state(),
             "t": int(self.t),
-            "ugv_pos": np.array([ugv.position for ugv in self.ugvs]),
-            "uav_pos": np.array([uav.position for uav in self.uavs]),
-            "uav_energy": np.array([uav.energy for uav in self.uavs]),
-            "sensor_data": np.array([s.remaining for s in self.sensors]),
+            "ugv_pos": np.array([ugv.position for ugv in self.ugvs]),  # reprolint: disable=PF001
+            "uav_pos": np.array([uav.position for uav in self.uavs]),  # reprolint: disable=PF001
+            "uav_energy": np.array([uav.energy for uav in self.uavs]),  # reprolint: disable=PF001
+            "sensor_data": self._sensor_remaining,
         })
 
     # ------------------------------------------------------------------
@@ -185,6 +198,7 @@ class AirGroundEnv:
             Sensor(i, self.campus.sensor_positions[i], float(self._initial_data[i]))
             for i in range(self.campus.num_sensors)
         ]
+        self._sensor_remaining = self._initial_data.copy()
         self._sensor_scale = float(self._initial_data.max())
         self._data_scale = self.builder.data_scale(self._initial_data)
 
@@ -262,7 +276,7 @@ class AirGroundEnv:
         for uav, action in zip(self.uavs, uav_actions):
             if not uav.airborne:
                 continue
-            delta = np.zeros(2) if action is None else np.asarray(action, dtype=float).reshape(2)
+            delta = _ZERO_DELTA if action is None else np.asarray(action, dtype=float).reshape(2)
             flown[uav.index], crashed[uav.index] = self._fly_uav(uav, delta)
 
         # -- 3. Collection ----------------------------------------------
@@ -336,14 +350,21 @@ class AirGroundEnv:
         """Each airborne UAV drains sensors within range; returns per-UAV GB."""
         cfg = self.config
         collected = np.zeros(cfg.num_uavs)
-        positions = np.array([s.position for s in self.sensors])
+        positions = self._sensor_positions
+        # Airborne UAVs are few and sensing ranges overlap, so the
+        # all-sensors distance scan stays; a grid hash is the documented
+        # follow-up for paper-scale fleets (ROADMAP).
         for uav in self.uavs:
             if not uav.airborne:
                 continue
-            gaps = np.hypot(positions[:, 0] - uav.position[0],
+            gaps = np.hypot(positions[:, 0] - uav.position[0],  # reprolint: disable=PF004
                             positions[:, 1] - uav.position[1])
             for p in np.nonzero(gaps <= cfg.sensing_range)[0]:
-                taken = self.sensors[int(p)].drain(cfg.collect_rate)
+                sensor = self.sensors[int(p)]
+                taken = sensor.drain(cfg.collect_rate)
+                # Sync the cache at the lone mutation site (assignment of
+                # the same float keeps it bit-identical to a rebuild).
+                self._sensor_remaining[int(p)] = sensor.remaining
                 if taken > 0:
                     collected[uav.index] += taken
                     uav.record_collection(taken)
@@ -383,20 +404,27 @@ class AirGroundEnv:
             self._seen_mask[ugv.index, visible] = True
 
     def _remaining(self) -> np.ndarray:
-        return np.array([s.remaining for s in self.sensors])
+        """Per-sensor remaining data, as the live preallocated cache.
+
+        Returned by reference: every consumer (metrics, fairness,
+        knowledge refresh, rasters) is read-only.
+        """
+        return self._sensor_remaining
 
     # ------------------------------------------------------------------
     # Observations and metrics
     # ------------------------------------------------------------------
     def _actionable(self) -> np.ndarray:
         """Boolean (U,): which UGVs act next timeslot (not holding a release)."""
-        return np.array([not g.is_waiting for g in self.ugvs])
+        # O(U) bool gather with U <= 8; wait flags flip at three sites, so
+        # a cache buys nothing over the rebuild.
+        return np.array([not g.is_waiting for g in self.ugvs])  # reprolint: disable=PF001
 
     def encode_observations(self, ugv_out, uav_out, idx=()) -> None:
         """Write current observations into array slots (see UGV/UAVObsArrays)."""
         self.builder.encode_ugv_batch(self.ugvs, self._last_seen, self._seen_mask,
                                       self._data_scale, ugv_out, idx)
-        self.builder.encode_uav_batch(self.uavs, self.ugvs, self.sensors,
+        self.builder.encode_uav_batch(self.uavs, self.ugvs, self._sensor_remaining,
                                       self._sensor_scale, uav_out, idx)
 
     def _ugv_observations(self) -> list[UGVObservation]:
@@ -408,7 +436,7 @@ class AirGroundEnv:
 
     def _uav_observations(self) -> list[UAVObservation | None]:
         data_raster, presence = self.builder.global_rasters(
-            self.sensors, self.uavs, self._sensor_scale)
+            self._sensor_remaining, self.uavs, self._sensor_scale)
         out: list[UAVObservation | None] = []
         for uav in self.uavs:
             if not uav.airborne:
@@ -424,9 +452,11 @@ class AirGroundEnv:
         remaining = self._remaining()
         psi = collection_ratio(self._initial_data, remaining)
         xi = jain_fairness(self._initial_data, remaining, self.config.epsilon)
+        # Metric snapshots run on the reporting path (the vec hot path
+        # uses step_dynamics, which skips per-step metric dicts).
         zeta = cooperation_factor(
-            np.array([u.releases for u in self.uavs]),
-            np.array([u.effective_releases for u in self.uavs]))
+            np.array([u.releases for u in self.uavs]),  # reprolint: disable=PF001
+            np.array([u.effective_releases for u in self.uavs]))  # reprolint: disable=PF001
         spent = sum(u.energy_spent for u in self.uavs)
         charged = sum(u.energy_charged for u in self.uavs)
         beta = energy_ratio(spent, self.config.uav_energy * self.config.num_uavs, charged)

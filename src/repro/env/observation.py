@@ -21,7 +21,7 @@ import numpy as np
 from ..maps.campus import CampusMap
 from ..maps.stop_graph import StopGraph
 from .config import EnvConfig
-from .entities import UAV, UGV, Sensor
+from .entities import UAV, UGV
 
 __all__ = ["UGVObservation", "UAVObservation", "UGVObsArrays", "UAVObsArrays",
            "ObservationBuilder"]
@@ -232,7 +232,9 @@ class ObservationBuilder:
             c1 = min(self.grid_w - 1, int(box.max_x // cell))
             r0 = max(0, int(box.min_y // cell))
             r1 = min(self.grid_h - 1, int(box.max_y // cell))
-            for r in range(r0, r1 + 1):
+            # One-off rasterisation at builder construction; the polygon
+            # containment test is per-cell by nature.
+            for r in range(r0, r1 + 1):  # reprolint: disable=PF003
                 for c in range(c0, c1 + 1):
                     centre = ((c + 0.5) * cell, (r + 0.5) * cell)
                     if building.contains(centre):
@@ -259,8 +261,10 @@ class ObservationBuilder:
         masked = np.where(seen_mask, last_seen / data_scale, cfg.mask_constant)
         features[:, 2] = masked
 
-        positions = np.array([u.position for u in ugvs]) / self._extent
-        stops = np.array([u.stop for u in ugvs], dtype=int)
+        # UGV positions/stops mutate on every move; the O(U) gather
+        # (U <= 8) is cheaper than syncing a cache at each move site.
+        positions = np.array([u.position for u in ugvs]) / self._extent  # reprolint: disable=PF001
+        stops = np.array([u.stop for u in ugvs], dtype=int)  # reprolint: disable=PF001
 
         mask = np.zeros(b + 1, dtype=bool)
         mask[:b] = self.reachable[ugvs[agent].stop]
@@ -284,9 +288,10 @@ class ObservationBuilder:
         features[:, :, :2] = self._norm_positions
         features[:, :, 2] = np.where(seen_mask, last_seen / data_scale, cfg.mask_constant)
 
-        positions = np.array([g.position for g in ugvs])
+        # Same O(U) gather trade-off as ugv_observation above.
+        positions = np.array([g.position for g in ugvs])  # reprolint: disable=PF001
         out.ugv_positions[idx] = positions / self._extent
-        stops = np.fromiter((g.stop for g in ugvs), dtype=np.int64, count=u)
+        stops = np.fromiter((g.stop for g in ugvs), dtype=np.int64, count=u)  # reprolint: disable=PF001
         out.ugv_stops[idx] = stops
 
         mask = out.action_mask[idx]  # (U, B + 1) view
@@ -295,11 +300,17 @@ class ObservationBuilder:
         mask[:, b] = True
 
     # ------------------------------------------------------------------
-    def global_rasters(self, sensors: list[Sensor], uavs: list[UAV],
+    def global_rasters(self, remaining: np.ndarray, uavs: list[UAV],
                        data_scale_per_sensor: float) -> tuple[np.ndarray, np.ndarray]:
-        """Dynamic channels shared by all UAV crops this timeslot."""
+        """Dynamic channels shared by all UAV crops this timeslot.
+
+        ``remaining`` is the env's preallocated per-sensor data array
+        (``AirGroundEnv._sensor_remaining``), read-only here — passing
+        the array instead of the Sensor list is what lets the encoder
+        avoid a per-step comprehension rebuild.
+        """
         data = np.zeros_like(self.obstacles)
-        remaining = np.array([s.remaining for s in sensors])
+        remaining = np.asarray(remaining, dtype=float)
         np.add.at(data, (self.sensor_cells[:, 1], self.sensor_cells[:, 0]),
                   remaining / data_scale_per_sensor)
         presence = np.zeros_like(self.obstacles)
@@ -347,7 +358,7 @@ class ObservationBuilder:
         return UAVObservation(uav.index, grid, aux)
 
     def encode_uav_batch(self, uavs: list[UAV], ugvs: list[UGV],
-                         sensors: list[Sensor], sensor_scale: float,
+                         remaining: np.ndarray, sensor_scale: float,
                          out: UAVObsArrays, idx=()) -> None:
         """Array-encoder equivalent of :meth:`uav_observation` for all UAVs.
 
@@ -360,12 +371,13 @@ class ObservationBuilder:
         cell = cfg.uav_obs_cell
         radius = cfg.uav_obs_radius
         size = cfg.uav_obs_size
-        airborne = np.fromiter((v.airborne for v in uavs), dtype=bool, count=len(uavs))
+        # Airborne flags flip at launch/dock; O(V) bool gather per encode.
+        airborne = np.fromiter((v.airborne for v in uavs), dtype=bool, count=len(uavs))  # reprolint: disable=PF001
         out.airborne[idx] = airborne
         if not airborne.any():
             return
 
-        data, presence = self.global_rasters(sensors, uavs, sensor_scale)
+        data, presence = self.global_rasters(remaining, uavs, sensor_scale)
         padded_data = np.pad(data, radius)
         padded_presence = np.pad(presence, radius)
         grid = out.grid[idx]  # (V, 3, S, S) view

@@ -153,7 +153,9 @@ def trajectory_statistics(trace: list[dict], env) -> dict[str, float]:
     all_visited = set().union(*visited) if visited else set()
     pair_overlap = 0
     pairs = 0
-    for a in range(num_ugvs):
+    # Post-hoc trajectory analysis (once per study, not per step); the
+    # all-pairs overlap is the statistic itself.
+    for a in range(num_ugvs):  # reprolint: disable=PF004
         for b in range(a + 1, num_ugvs):
             pairs += 1
             union = len(visited[a] | visited[b])

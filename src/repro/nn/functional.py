@@ -54,7 +54,9 @@ def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int, padding: i
     ow = (w + 2 * padding - kw) // stride + 1
     padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     cols = cols.reshape(n, c, kh, kw, oh, ow)
-    for i in range(kh):
+    # Loops over the kh x kw kernel taps (typically 3x3), not array
+    # elements; each iteration is one strided block accumulate.
+    for i in range(kh):  # reprolint: disable=PF003
         for j in range(kw):
             padded[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[:, :, i, j]
     if padding:

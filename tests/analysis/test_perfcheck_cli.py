@@ -1,0 +1,209 @@
+"""Driver, golden-artifact, ranking and baseline-gate tests for perfcheck.
+
+The golden half runs the real GARL smoke trace once (module-scoped) and
+pins the artifact's shape plus the ISSUE's acceptance numbers: at least
+three fusion groups and a peak-live-bytes strictly below the
+sum-of-allocations on every traced graph.
+
+Regenerate the golden expectations with::
+
+    PYTHONPATH=src python -m repro perfcheck src --campus kaist \
+        --preset smoke --ugvs 3 --uavs 1 --seed 0 --json /tmp/pc.json
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.check import run_all
+from repro.analysis.lint import Diagnostic
+from repro.analysis.perfcheck import (
+    PerfcheckReport,
+    check_baseline,
+    load_profile,
+    main,
+    run_perfcheck,
+    write_baseline,
+)
+
+TRACE_NAMES = {"garl.ugv", "garl.ugv_vec", "garl.uav"}
+
+
+@pytest.fixture(scope="module")
+def garl_report() -> PerfcheckReport:
+    return run_perfcheck(paths=["src"], methods=("garl",), campus="kaist",
+                         preset="smoke", num_ugvs=3, num_uavs_per_ugv=1,
+                         seed=0)
+
+
+class TestGoldenTrace:
+    def test_traces_cover_all_policy_graphs(self, garl_report):
+        assert {t.name for t in garl_report.traces} == TRACE_NAMES
+
+    def test_tree_is_perfcheck_clean(self, garl_report):
+        assert garl_report.findings == []
+        assert len(garl_report.suppressions) > 0
+
+    def test_fusion_acceptance_floor(self, garl_report):
+        # ISSUE acceptance: >= 3 fusion groups on the real trace.
+        for trace in garl_report.traces:
+            assert len(trace.fusion.groups) >= 3, trace.name
+            for group in trace.fusion.groups:
+                assert len(group.nodes) >= 2
+                assert group.saved_bytes > 0
+
+    def test_arena_acceptance_invariant(self, garl_report):
+        # Peak live bytes strictly below the sum of allocations, and the
+        # arena never needs more than it would per-op.
+        for trace in garl_report.traces:
+            arena = trace.arena
+            assert arena.peak_live_bytes < arena.total_alloc_bytes, trace.name
+            assert arena.peak_live_bytes <= arena.arena_bytes
+            assert arena.arena_bytes < arena.total_alloc_bytes
+
+    def test_artifact_schema(self, garl_report):
+        payload = json.loads(garl_report.to_json())
+        assert payload["schema"] == "repro.perfcheck/1"
+        assert set(payload["summary"]) == {"findings", "suppressions",
+                                           "fusion_groups",
+                                           "fusion_saved_bytes", "traces"}
+        assert payload["summary"]["findings"] == 0
+        assert payload["summary"]["fusion_groups"] >= 9
+        assert set(payload["traces"]) == TRACE_NAMES
+        for trace in payload["traces"].values():
+            assert trace["fusion_plan"]["version"] == 1
+            assert trace["arena_plan"]["version"] == 1
+
+    def test_dot_rendered_per_trace(self, garl_report):
+        for trace in garl_report.traces:
+            assert trace.dot.startswith("digraph fusion")
+            assert "cluster_0" in trace.dot
+
+
+class TestProfileRanking:
+    def _report(self) -> PerfcheckReport:
+        return PerfcheckReport(findings=[
+            Diagnostic("src/repro/maps/roads.py", 10, 0, "PF001",
+                       "per-step-array-rebuild", "cold finding"),
+            Diagnostic("src/repro/env/airground.py", 20, 0, "PF002",
+                       "alloc-in-hot-loop", "hot finding"),
+        ])
+
+    def test_without_profile_order_is_stable(self):
+        report = self._report()
+        report.rank()
+        assert [d.path for d in report.findings] == [
+            "src/repro/maps/roads.py", "src/repro/env/airground.py"]
+        assert report.attributed == {0: 0.0, 1: 0.0}
+
+    def test_profile_reorders_findings(self, tmp_path):
+        profile = tmp_path / "run.jsonl"
+        profile.write_text(textwrap.dedent("""\
+            {"kind": "meta", "wall_seconds": 2.0}
+            {"kind": "op", "op": "mul", "label": "", "module": "env.airground", "seconds": 0.5, "calls": 10}
+        """))
+        report = self._report()
+        report.profile = load_profile(profile)
+        report.rank()
+        # The measured-hot env finding now leads.
+        assert [d.path for d in report.findings] == [
+            "src/repro/env/airground.py", "src/repro/maps/roads.py"]
+        assert report.attributed[0] == pytest.approx(0.5)
+        assert report.attributed[1] == 0.0
+        assert "profile-ranked" in report.format_report()
+
+
+class TestBaselineGate:
+    def _report(self) -> PerfcheckReport:
+        return PerfcheckReport(
+            findings=[Diagnostic("src/repro/x.py", 5, 0, "PF003",
+                                 "python-elementwise-loop", "m")],
+            suppressions=[{"path": "src/repro/y.py", "line": 9,
+                           "codes": ["PF001"]}])
+
+    def test_round_trip_is_clean(self, tmp_path):
+        report = self._report()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(report, str(baseline))
+        assert check_baseline(report, str(baseline)) == []
+
+    def test_new_finding_is_a_regression(self, tmp_path):
+        report = self._report()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(report, str(baseline))
+        report.findings.append(Diagnostic("src/repro/z.py", 1, 0, "PF004",
+                                          "quadratic-entity-scan", "m"))
+        problems = check_baseline(report, str(baseline))
+        assert len(problems) == 1
+        assert "PF004 src/repro/z.py" in problems[0]
+
+    def test_new_suppression_is_a_regression(self, tmp_path):
+        report = self._report()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(report, str(baseline))
+        report.suppressions.append({"path": "src/repro/y.py", "line": 30,
+                                    "codes": ["PF001"]})
+        problems = check_baseline(report, str(baseline))
+        assert len(problems) == 1
+        assert problems[0].startswith("new suppression: PF001")
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "something-else"}')
+        with pytest.raises(ValueError):
+            check_baseline(self._report(), str(bad))
+
+
+class TestCLI:
+    def test_exit_one_on_unsuppressed_finding(self, tmp_path, capsys):
+        mod = tmp_path / "hotmod.py"
+        mod.write_text(textwrap.dedent("""
+            import numpy as np
+            def remaining(self):
+                return np.array([s.remaining for s in self.sensors])
+        """))
+        assert main(["--static-only", str(mod)]) == 1
+        assert "PF001" in capsys.readouterr().out
+
+    def test_exit_zero_when_suppressed(self, tmp_path, capsys):
+        mod = tmp_path / "hotmod.py"
+        mod.write_text(textwrap.dedent("""
+            import numpy as np
+            def remaining(self):
+                return np.array([s.remaining for s in self.sensors])  # reprolint: disable=PF001
+        """))
+        assert main(["--static-only", str(mod)]) == 0
+        out = capsys.readouterr().out
+        assert "0 active, 1 suppressed" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("PF001", "PF002", "PF003", "PF004", "PF005"):
+            assert code in out
+
+    def test_repro_cli_dispatch(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["perfcheck", "--list-rules"]) == 0
+        assert "PF001" in capsys.readouterr().out
+
+
+class TestCheckMeta:
+    def test_only_lint_pillar(self):
+        results = run_all(only=["lint"])
+        assert [r.name for r in results] == ["lint"]
+        assert results[0].exit_code == 0
+        assert results[0].status == "ok"
+        assert results[0].seconds >= 0.0
+
+    def test_repro_cli_check_dispatch(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["check", "--only", "lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint" in out
+        assert "1/1 pillars clean" in out

@@ -1,0 +1,185 @@
+"""IR-pass tests for perfcheck on hand-built mini graphs.
+
+The graphs are small enough to compute the expected fusion groups,
+liveness peaks and value-number groups by hand, which pins down the
+pass semantics independently of any traced method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.graphcheck.ir import GraphIR, IRNode
+from repro.analysis.perfcheck.passes import (
+    analyze_buffers,
+    find_cross_phase_recompute,
+    find_fusion_groups,
+)
+
+
+def mk(node_id: int, op: str, inputs=(), shape=(4,), phase: str = "",
+       value: float | None = None) -> IRNode:
+    """Build one float64 IR node with deterministic data."""
+    data = np.full(shape, float(node_id if value is None else value))
+    return IRNode(node_id, op, tuple(shape), "float64",
+                  requires_grad=True, site=f"src/mod.py:{10 + node_id}",
+                  phase=phase, inputs=tuple(inputs), data=data)
+
+
+def graph(nodes: list[IRNode]) -> GraphIR:
+    return GraphIR(nodes, roots=(nodes[-1].id,))
+
+
+# ----------------------------------------------------------------------
+# PC001 — fusion groups
+# ----------------------------------------------------------------------
+class TestFusion:
+    def test_single_consumer_chain_fuses(self):
+        ir = graph([
+            mk(0, "leaf"),
+            mk(1, "exp", inputs=(0,)),
+            mk(2, "relu", inputs=(1,)),
+            mk(3, "tanh", inputs=(2,)),
+        ])
+        plan = find_fusion_groups(ir)
+        assert len(plan.groups) == 1
+        assert plan.groups[0].ops == ["exp", "relu", "tanh"]
+        # Intermediates (all but the chain tail): two (4,) float64 buffers.
+        assert plan.groups[0].saved_bytes == 2 * 4 * 8
+        assert plan.saved_bytes == plan.groups[0].saved_bytes
+
+    def test_non_elementwise_op_breaks_chain(self):
+        ir = graph([
+            mk(0, "leaf"),
+            mk(1, "exp", inputs=(0,)),
+            mk(2, "matmul", inputs=(1,)),
+            mk(3, "relu", inputs=(2,)),
+            mk(4, "tanh", inputs=(3,)),
+        ])
+        plan = find_fusion_groups(ir)
+        # `exp` is stranded alone (dropped: below min_size); the chain
+        # restarts after the matmul.
+        assert [g.ops for g in plan.groups] == [["relu", "tanh"]]
+
+    def test_multi_consumer_edge_blocks_fusion(self):
+        ir = graph([
+            mk(0, "leaf"),
+            mk(1, "exp", inputs=(0,)),
+            mk(2, "relu", inputs=(1,)),
+            mk(3, "tanh", inputs=(1,)),
+        ])
+        plan = find_fusion_groups(ir)
+        # `exp` has two consumers, so neither child may join it and every
+        # candidate group is a singleton.
+        assert plan.groups == []
+
+    def test_dot_renders_clusters(self):
+        ir = graph([
+            mk(0, "leaf"),
+            mk(1, "exp", inputs=(0,)),
+            mk(2, "relu", inputs=(1,)),
+        ])
+        plan = find_fusion_groups(ir)
+        dot = plan.to_dot(ir)
+        assert dot.startswith("digraph fusion")
+        assert "cluster_0" in dot
+        assert "n1 -> n2" in dot
+
+
+# ----------------------------------------------------------------------
+# PC002 — buffer lifetime / arena
+# ----------------------------------------------------------------------
+class TestArena:
+    def test_linear_chain_peak_and_reuse(self):
+        # 5 same-size ops in a row: at most producer+consumer are live,
+        # and two arena slots ping-pong the whole chain.
+        nodes = [mk(0, "leaf", shape=(8,))]
+        for i in range(1, 6):
+            nodes.append(mk(i, "exp", inputs=(i - 1,), shape=(8,)))
+        plan = analyze_buffers(graph(nodes))
+        size = 8 * 8
+        assert plan.total_alloc_bytes == 5 * size
+        assert plan.peak_live_bytes == 2 * size
+        assert plan.arena_bytes == 2 * size
+        assert len(plan.slot_sizes) == 2
+
+    def test_invariant_peak_le_arena_lt_total(self):
+        # A less regular graph: a diamond with mixed sizes.
+        ir = graph([
+            mk(0, "leaf", shape=(16,)),
+            mk(1, "exp", inputs=(0,), shape=(16,)),
+            mk(2, "relu", inputs=(1,), shape=(16,)),
+            mk(3, "tanh", inputs=(1,), shape=(4,)),
+            mk(4, "add", inputs=(2, 3), shape=(16,)),
+            mk(5, "sum", inputs=(4,), shape=()),
+        ])
+        plan = analyze_buffers(ir)
+        assert plan.peak_live_bytes <= plan.arena_bytes < plan.total_alloc_bytes
+        assert 0.0 < plan.reuse_ratio < 1.0
+
+    def test_leaves_do_not_count(self):
+        ir = graph([
+            mk(0, "leaf", shape=(1000,)),
+            mk(1, "exp", inputs=(0,), shape=(4,)),
+            mk(2, "relu", inputs=(1,), shape=(4,)),
+        ])
+        plan = analyze_buffers(ir)
+        # The big leaf is not the allocator's to reuse.
+        assert plan.total_alloc_bytes == 2 * 4 * 8
+
+    def test_as_dict_round_trip(self):
+        ir = graph([
+            mk(0, "leaf"),
+            mk(1, "exp", inputs=(0,)),
+            mk(2, "relu", inputs=(1,)),
+        ])
+        d = analyze_buffers(ir).as_dict()
+        assert d["version"] == 1
+        assert d["peak_live_bytes"] <= d["arena_bytes"]
+        assert {a["node"] for a in d["assignments"]} == {1, 2}
+
+
+# ----------------------------------------------------------------------
+# PC003 — cross-phase recompute
+# ----------------------------------------------------------------------
+class TestRecompute:
+    def test_detects_phase_spanning_duplicate(self):
+        ir = graph([
+            mk(0, "leaf", value=1.5),
+            mk(1, "exp", inputs=(0,), phase="forward", value=2.5),
+            mk(2, "exp", inputs=(0,), phase="loss", value=2.5),
+        ])
+        findings = find_cross_phase_recompute(ir)
+        assert len(findings) == 1
+        assert findings[0].op == "exp"
+        assert findings[0].count == 2
+        assert findings[0].phases == ["forward", "loss"]
+        assert findings[0].bytes_each == 4 * 8
+
+    def test_same_phase_duplicates_ignored(self):
+        ir = graph([
+            mk(0, "leaf", value=1.5),
+            mk(1, "exp", inputs=(0,), phase="forward", value=2.5),
+            mk(2, "exp", inputs=(0,), phase="forward", value=2.5),
+        ])
+        assert find_cross_phase_recompute(ir) == []
+
+    def test_different_values_not_grouped(self):
+        # Same op and inputs but different output data: not the same
+        # value, so no recompute finding.
+        ir = graph([
+            mk(0, "leaf", value=1.5),
+            mk(1, "exp", inputs=(0,), phase="forward", value=2.5),
+            mk(2, "exp", inputs=(0,), phase="loss", value=9.0),
+        ])
+        assert find_cross_phase_recompute(ir) == []
+
+    def test_deep_graph_terminates_quickly(self):
+        # The value-number keys are interned, so a deep chain must not
+        # blow up hashing (the pre-interning bug was exponential).
+        nodes = [mk(0, "leaf")]
+        for i in range(1, 400):
+            nodes.append(mk(i, "exp", inputs=(i - 1,), phase="forward",
+                            value=float(i)))
+        assert find_cross_phase_recompute(graph(nodes)) == []
