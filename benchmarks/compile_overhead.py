@@ -1,0 +1,141 @@
+"""Time the compiled UAV training step against the eager tape.
+
+The compiled executor (:mod:`repro.nn.compile`) exists to pay the trace
++ lowering cost once and then replay the plan without Python-level graph
+bookkeeping.  This benchmark measures one real GARL UAV surrogate-loss
+minibatch — forward + backward, the unit :class:`CompiledStep` replays —
+in both modes on the smoke preset, plus the one-time capture cost:
+
+* ``eager``   — tape-building forward, closure-walking backward;
+* ``replay``  — fused, arena-backed plan execution + VJP sweep;
+* ``capture`` — first-call trace + lowering (amortised over a run).
+
+Results land in ``BENCH_compile.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/compile_overhead.py
+
+``--quick`` runs fewer repetitions, skips the JSON write unless
+``--write`` is also given, and exits non-zero when the replayed step is
+not at least ``GATE_SPEEDUP`` (1.2x) faster than eager — the number the
+CI compile job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.compile_cli import build_uav_step
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GATE_SPEEDUP = 1.2
+
+
+def _one_step(step, args, params) -> float:
+    for p in params:
+        p.grad = None
+    t0 = time.perf_counter()
+    res = step(*args)
+    res.backward()
+    return time.perf_counter() - t0
+
+
+def _time_blocks(step, args, params, blocks: int, block_reps: int) -> tuple[list, list]:
+    """Alternate eager/replay *blocks* of consecutive steps.
+
+    Consecutive same-mode steps are what a training run executes, and
+    eager's per-step tape/closure allocation churn only shows at that
+    cadence; alternating whole blocks still spreads clock drift and
+    cache noise evenly across the two modes.
+    """
+    eager, replay = [], []
+    for _ in range(blocks):
+        # Collect at the boundary so one mode's cyclic garbage (the eager
+        # tape's closure cycles) is never collected on the other's clock.
+        step.enabled = False
+        gc.collect()
+        eager.extend(_one_step(step, args, params) for _ in range(block_reps))
+        step.enabled = True
+        gc.collect()
+        replay.extend(_one_step(step, args, params) for _ in range(block_reps))
+    return eager, replay
+
+
+def _stats(seconds: list[float]) -> dict:
+    arr = np.asarray(seconds)
+    return {
+        "reps": len(seconds),
+        "mean_ms": round(float(arr.mean()) * 1e3, 3),
+        "min_ms": round(float(arr.min()) * 1e3, 3),
+        "max_ms": round(float(arr.max()) * 1e3, 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer reps; gate on the replay speedup")
+    parser.add_argument("--write", action="store_true",
+                        help="write BENCH_compile.json even with --quick")
+    parser.add_argument("--minibatch", type=int, default=64)
+    args = parser.parse_args()
+
+    blocks, block_reps = (4, 20) if args.quick else (8, 40)
+
+    trainer, step_args = build_uav_step(minibatch=args.minibatch)
+    step = trainer._uav_step
+    params = trainer.uav_optimizer.params
+
+    t0 = time.perf_counter()
+    step(*step_args)  # trace + lowering
+    capture_s = time.perf_counter() - t0
+    if step.disabled_reason:
+        print(f"lowering failed: {step.disabled_reason}", file=sys.stderr)
+        return 1
+
+    _time_blocks(step, step_args, params, 1, 5)  # warmup
+    eager, replay = _time_blocks(step, step_args, params, blocks, block_reps)
+
+    # The gate compares total wall-clock over the run — the quantity a
+    # training loop pays.  A min-over-reps gate would filter out eager's
+    # allocation/gc churn, which is precisely the overhead replay removes.
+    speedup = sum(eager) / sum(replay)
+    plan = step.describe()["plans"][0]
+    report = {
+        "bench": "compile_overhead",
+        "workload": "GARL UAV surrogate minibatch "
+                    f"(batch {len(step_args[0])}, kaist smoke), "
+                    "forward + backward",
+        "gate_speedup": GATE_SPEEDUP,
+        "eager": _stats(eager),
+        "replay": _stats(replay),
+        "capture_ms": round(capture_s * 1e3, 3),
+        "speedup": round(speedup, 3),
+        "fused_groups": len(plan["fused_groups"]),
+        "arena_bytes": plan["arena_bytes"],
+        "total_alloc_bytes": plan["total_alloc_bytes"],
+        "gate_passed": speedup >= GATE_SPEEDUP,
+    }
+    if not args.quick or args.write:
+        out = REPO_ROOT / "BENCH_compile.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        print(f"\nwritten to {out}")
+    else:
+        print(json.dumps(report, indent=2))
+
+    if not report["gate_passed"]:
+        print(f"compiled step under the {GATE_SPEEDUP}x speedup gate "
+              f"(got {speedup:.2f}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

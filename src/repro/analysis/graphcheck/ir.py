@@ -22,7 +22,96 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["IRNode", "GraphIR", "build_ir"]
+__all__ = ["IRNode", "GraphIR", "build_ir", "OpSpec", "OP_REGISTRY",
+           "ELEMENTWISE_OPS", "UNARY_SAME_SHAPE_OPS", "BINARY_BROADCAST_OPS",
+           "OPAQUE_BATCH_PRESERVING_OPS", "VIEW_OPS", "REDUCTION_OPS"]
+
+
+# ----------------------------------------------------------------------
+# Op registry
+# ----------------------------------------------------------------------
+# The single classification table for every op the engine records (plus
+# a few legacy aliases that lower to other ops before recording).  The
+# GC001 shape checker, the PC001/PC002 perf passes and the compiled
+# executor (repro.nn.compile) all derive their op sets from here, so the
+# three layers cannot drift apart.
+@dataclass(frozen=True)
+class OpSpec:
+    """Classification of one engine op.
+
+    ``kind`` is the structural family:
+
+    * ``unary`` / ``binary`` / ``select`` — pointwise math (select is
+      ``where``: condition plus two broadcast operands);
+    * ``rowwise`` — same-shape but normalises along an axis
+      (softmax/log_softmax), so it bounds fusion regions;
+    * ``reduction`` — collapses axes (sum/max/...);
+    * ``view`` — pure data movement, no arithmetic;
+    * ``contraction`` — matmul;
+    * ``opaque`` — batch-preserving ops the shape checker treats as
+      black boxes (indexing, conv, pooling).
+
+    ``elementwise`` marks ops a fused kernel can express: one output
+    element depends only on the matching input element(s).
+    """
+
+    kind: str
+    elementwise: bool = False
+
+
+OP_REGISTRY: dict[str, OpSpec] = {
+    # Pointwise unaries.
+    "neg": OpSpec("unary", True), "exp": OpSpec("unary", True),
+    "log": OpSpec("unary", True), "sqrt": OpSpec("unary", True),
+    "tanh": OpSpec("unary", True), "sigmoid": OpSpec("unary", True),
+    "relu": OpSpec("unary", True), "leaky_relu": OpSpec("unary", True),
+    "abs": OpSpec("unary", True), "clip": OpSpec("unary", True),
+    "erf": OpSpec("unary", True), "dropout": OpSpec("unary", True),
+    # Row-local composites: same shape, not elementwise.
+    "softmax": OpSpec("rowwise"), "log_softmax": OpSpec("rowwise"),
+    # Broadcasting binaries.
+    "add": OpSpec("binary", True), "sub": OpSpec("binary", True),
+    "mul": OpSpec("binary", True), "truediv": OpSpec("binary", True),
+    "pow": OpSpec("binary", True), "maximum": OpSpec("binary", True),
+    "minimum": OpSpec("binary", True),
+    # Masked select.
+    "where": OpSpec("select", True),
+    # Contractions.
+    "matmul": OpSpec("contraction"),
+    # Reductions.
+    "sum": OpSpec("reduction"), "mean": OpSpec("reduction"),
+    "max": OpSpec("reduction"), "min": OpSpec("reduction"),
+    # Pure data movement.
+    "reshape": OpSpec("view"), "flatten": OpSpec("view"),
+    "transpose": OpSpec("view"), "swapaxes": OpSpec("view"),
+    "expand_dims": OpSpec("view"), "squeeze": OpSpec("view"),
+    "concat": OpSpec("view"), "stack": OpSpec("view"), "pad": OpSpec("view"),
+    # Opaque batch-preserving ops.
+    "getitem": OpSpec("opaque"), "gather": OpSpec("opaque"),
+    "embedding_lookup": OpSpec("opaque"), "conv2d": OpSpec("opaque"),
+    "max_pool2d": OpSpec("opaque"), "avg_pool2d": OpSpec("opaque"),
+}
+
+
+def _ops_where(predicate) -> frozenset:
+    return frozenset(name for name, spec in OP_REGISTRY.items()
+                     if predicate(spec))
+
+
+#: Ops a fused kernel can express (consumed by PC001 and the compiler).
+#: Dropout is excluded: it is elementwise but stochastic, so fusing it
+#: would hide the RNG draw from the determinism tooling.
+ELEMENTWISE_OPS = _ops_where(lambda s: s.elementwise) - {"dropout"}
+#: Shape-preserving unaries for GC001 symbolic shape propagation.
+UNARY_SAME_SHAPE_OPS = _ops_where(lambda s: s.kind in ("unary", "rowwise"))
+#: Broadcasting binaries for GC001.
+BINARY_BROADCAST_OPS = _ops_where(lambda s: s.kind == "binary")
+#: Black-box batch-preserving ops for GC001.
+OPAQUE_BATCH_PRESERVING_OPS = _ops_where(lambda s: s.kind == "opaque")
+#: Pure data movement (zero estimated FLOPs, zero-copy on replay).
+VIEW_OPS = _ops_where(lambda s: s.kind == "view")
+#: Axis-collapsing reductions.
+REDUCTION_OPS = _ops_where(lambda s: s.kind == "reduction")
 
 
 @dataclass
@@ -42,6 +131,9 @@ class IRNode:
     has_grad: bool = False       # grad was populated when the IR was built
     # Reference to the traced array; not serialised.
     data: np.ndarray | None = field(default=None, repr=False, compare=False)
+    # Static op parameters captured by the tracer (axis, clip bounds,
+    # conv stride, ...); not serialised — may hold numpy arrays.
+    attrs: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
@@ -246,6 +338,7 @@ def build_ir(tape, roots: Iterable = (), params: dict[str, object] | None = None
             requires_grad=bool(t.requires_grad), site=rec.site,
             label=rec.label, phase=rec.phase, inputs=input_ids,
             has_grad=t.grad is not None, data=t.data,
+            attrs=getattr(rec, "attrs", None),
         ))
 
     root_ids = []

@@ -24,12 +24,12 @@ GC005     common-subexpression   info      identical subgraphs computed more
 
 from __future__ import annotations
 
-import zlib
 from typing import Callable
 
 import numpy as np
 
-from .ir import GraphIR, IRNode
+from .ir import (GraphIR, IRNode, BINARY_BROADCAST_OPS,
+                 OPAQUE_BATCH_PRESERVING_OPS, UNARY_SAME_SHAPE_OPS)
 
 __all__ = [
     "GraphDiagnostic",
@@ -77,15 +77,12 @@ class GraphDiagnostic:
 # an op that contracts, reshapes away, or misaligns the symbol only
 # works at the traced size and is reported.
 
-_UNARY_SAME_SHAPE = {
-    "neg", "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "leaky_relu",
-    "abs", "clip", "softmax", "log_softmax", "erf", "dropout",
-}
-_BINARY_BROADCAST = {"add", "sub", "mul", "truediv", "pow", "maximum", "minimum"}
-_OPAQUE_BATCH_PRESERVING = {
-    "getitem", "gather", "embedding_lookup", "conv2d", "max_pool2d",
-    "avg_pool2d",
-}
+# Classification sets come from the shared op registry in ``ir.py`` so
+# the shape checker, the perf passes and the compiled executor agree on
+# what each op is.
+_UNARY_SAME_SHAPE = UNARY_SAME_SHAPE_OPS
+_BINARY_BROADCAST = BINARY_BROADCAST_OPS
+_OPAQUE_BATCH_PRESERVING = OPAQUE_BATCH_PRESERVING_OPS
 
 
 def _dims(shape: tuple[int, ...]) -> list[tuple[int, str | None]]:
@@ -411,29 +408,26 @@ def check_common_subexpressions(ir: GraphIR, min_group: int = 2,
                                 max_reports: int = 10) -> list[GraphDiagnostic]:
     """GC005: value-number the graph; report recomputed subgraphs.
 
-    Value numbers combine op, input value numbers and an output data
-    fingerprint, so two nodes share a number only when they computed the
-    same value from the same expression — no false positives from e.g.
-    ``x[0]`` vs ``x[1]``.  Informational: a finding is a caching
-    opportunity, not a bug.
+    Value numbers (shared with the perfcheck passes and the compiler
+    via :func:`repro.analysis.graphcheck.transforms.value_number`)
+    combine op, input value numbers and an output data fingerprint, so
+    two nodes share a number only when they computed the same value
+    from the same expression — no false positives from e.g. ``x[0]``
+    vs ``x[1]``.  Informational: a finding is a caching opportunity,
+    not a bug.
     """
+    from .transforms import value_number
+
     diags: list[GraphDiagnostic] = []
-    vn: dict[int, tuple] = {}
+    vn = value_number(ir, identity_leaves=False)
     depth: dict[int, int] = {}
-    groups: dict[tuple, list[IRNode]] = {}
+    groups: dict[int, list[IRNode]] = {}
     for n in ir:
-        if n.data is None:
-            fp = ("nodata", n.id)
-        else:
-            fp = (n.data.shape, str(n.data.dtype), zlib.adler32(n.data.tobytes()))
         if n.is_leaf:
-            key = ("leaf", n.requires_grad, fp)
             depth[n.id] = 0
         else:
-            key = (n.op, tuple(vn[i] for i in n.inputs), fp)
             depth[n.id] = 1 + max((depth[i] for i in n.inputs), default=0)
-            groups.setdefault(key, []).append(n)
-        vn[n.id] = key
+            groups.setdefault(vn[n.id], []).append(n)
 
     findings = []
     for key, nodes in groups.items():

@@ -23,7 +23,11 @@ Commands mirror the paper's experiments:
 * ``perfcheck``    — profile-guided performance analysis: PF source
                      rules plus fusion/buffer/recompute passes over a
                      traced step (see docs/static_analysis.md).
-* ``check``        — run all four analysis pillars with one summary
+* ``compile``      — lower GARL's UAV surrogate step through the
+                     compiled plan executor and report fused groups,
+                     arena bytes and the guard set (``--smoke`` verifies
+                     bitwise replay/eager equivalence).
+* ``check``        — run all five analysis pillars with one summary
                      table and a combined exit code.
 """
 
@@ -177,8 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arguments for the perfcheck driver "
                            "(paths, --profile, --json, --baseline, ...)")
 
+    p_compile = sub.add_parser("compile", add_help=False,
+                               help="lower GARL's UAV step through the "
+                                    "compiled plan executor and report the "
+                                    "plan (exit 2 on --smoke mismatch)")
+    p_compile.add_argument("compile_args", nargs=argparse.REMAINDER,
+                           help="arguments for the compile reporter "
+                                "(--smoke, --json, --minibatch, ...)")
+
     p_check = sub.add_parser("check", add_help=False,
-                             help="run all four analysis pillars with one "
+                             help="run all five analysis pillars with one "
                                   "summary table and a combined exit code")
     p_check.add_argument("check_args", nargs=argparse.REMAINDER,
                          help="arguments for the meta-check "
@@ -206,6 +218,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.perfcheck import main as perfcheck_main
 
         return perfcheck_main(argv[1:])
+    if argv and argv[0] == "compile":
+        from .nn.compile_cli import main as compile_main
+
+        return compile_main(argv[1:])
     if argv and argv[0] == "check":
         from .analysis.check import main as check_main
 
@@ -234,6 +250,11 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.perfcheck import main as perfcheck_main
 
         return perfcheck_main(args.pc_args)
+
+    if args.command == "compile":
+        from .nn.compile_cli import main as compile_main
+
+        return compile_main(args.compile_args)
 
     if args.command == "check":
         from .analysis.check import main as check_main

@@ -21,6 +21,8 @@ from ..env.vector import VecAirGroundEnv
 from ..nn import (
     Adam,
     Categorical,
+    CompiledStep,
+    StepResult,
     Tensor,
     annotate,
     clip_grad_norm,
@@ -228,6 +230,10 @@ class IPPOTrainer:
         self.lr_schedule = lr_schedule
         self.entropy_schedule = entropy_schedule
         self._entropy_coef = self.ppo.entropy_coef
+        # UAV surrogate-loss step, optionally replayed through the
+        # compiled plan executor (ppo.compile); eager when disabled.
+        self._uav_step = CompiledStep(self._uav_loss_arrays, name="uav_loss",
+                                      enabled=self.ppo.compile)
         self._venv: VecAirGroundEnv | None = None
         # Global iteration counter: persists across train() calls (and
         # through checkpoint/resume), so records and schedule progress
@@ -495,6 +501,84 @@ class IPPOTrainer:
         annotate(total, "ippo.ugv_loss")
         return total, float(policy_loss.item()), float(value_loss.item())
 
+    def _uav_loss_arrays(self, grids: np.ndarray, aux: np.ndarray,
+                         actions: np.ndarray, old_logp: np.ndarray,
+                         adv: np.ndarray, old_value: np.ndarray,
+                         ret: np.ndarray, entropy_coef: np.ndarray
+                         ) -> tuple[Tensor, Tensor, Tensor]:
+        """UAV surrogate loss (Eqns. 2, 15, 16) as a pure array function.
+
+        Every call-varying value enters the graph as a tensor leaf over
+        an argument array — including the annealed entropy coefficient,
+        passed as a 0-d array — which is the contract
+        :class:`repro.nn.CompiledStep` needs to rebind inputs on replay.
+        Op order mirrors the historic inline update exactly, so eager
+        and compiled execution stay bit-for-bit interchangeable.
+        """
+        ppo = self.ppo
+        dist, value = self.uav_policy.forward_arrays(grids, aux)
+        logp = dist.log_prob(actions)
+        ratio = (logp - Tensor(old_logp)).exp()
+        adv_t = Tensor(adv)
+        surr1 = ratio * adv_t
+        surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv_t
+        policy_loss = -Tensor.minimum(surr1, surr2).mean()
+
+        v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
+            -ppo.value_clip, ppo.value_clip)
+        value_loss = Tensor.maximum(
+            (value - Tensor(ret)) ** 2,
+            (v_clipped - Tensor(ret)) ** 2).mean()
+        entropy = dist.entropy().mean()
+
+        total = (policy_loss + ppo.value_coef * value_loss
+                 - Tensor(entropy_coef) * entropy)
+        annotate(total, "ippo.uav_loss")
+        return total, policy_loss, value_loss
+
+    def _uav_loss_list(self, batch: list[UAVSample], actions: np.ndarray,
+                       old_logp: np.ndarray, adv: np.ndarray,
+                       old_value: np.ndarray, ret: np.ndarray) -> StepResult:
+        """Legacy list-based UAV loss for policies without an array forward.
+
+        Same surrogate math as :meth:`_uav_loss_arrays`, but the policy
+        consumes observation objects — never compiled, always eager.
+        """
+        ppo = self.ppo
+        dist, value = self.uav_policy([s.observation for s in batch])
+        logp = dist.log_prob(actions)
+        ratio = (logp - Tensor(old_logp)).exp()
+        adv_t = Tensor(adv)
+        surr1 = ratio * adv_t
+        surr2 = ratio.clip(1.0 - ppo.clip_eps, 1.0 + ppo.clip_eps) * adv_t
+        policy_loss = -Tensor.minimum(surr1, surr2).mean()
+
+        v_clipped = Tensor(old_value) + (value - Tensor(old_value)).clip(
+            -ppo.value_clip, ppo.value_clip)
+        value_loss = Tensor.maximum(
+            (value - Tensor(ret)) ** 2,
+            (v_clipped - Tensor(ret)) ** 2).mean()
+        entropy = dist.entropy().mean()
+
+        total = (policy_loss + ppo.value_coef * value_loss
+                 - self._entropy_coef * entropy)
+        annotate(total, "ippo.uav_loss")
+        return StepResult(tensors=(total, policy_loss, value_loss))
+
+    def _uav_apply(self, res) -> tuple[float, float]:
+        """Backward + clipped Adam step for one UAV minibatch result."""
+        ppo = self.ppo
+        self.uav_optimizer.zero_grad()
+        with obs_scope("backward"):
+            res.backward()
+        with obs_scope("optim"):
+            clip_grad_norm(self.uav_optimizer.params, ppo.max_grad_norm)
+            self.uav_optimizer.step()
+        counter_add("optim/uav_steps")
+        pl = res.item(1)
+        histogram_observe("loss/uav_policy", pl)
+        return pl, res.item(2)
+
     def update_uav_vec(self, rollout: VecUAVRollout) -> dict[str, float]:
         """Clipped PPO update for the UAV policy from flat array batches."""
         ppo = self.ppo
@@ -512,41 +596,16 @@ class IPPOTrainer:
                     idxs = order[start:start + ppo.minibatch_size]
                     with self._sanitize():
                         with obs_scope("forward"):
-                            dist, value = self.uav_policy.forward_arrays(
-                                flat.grids[idxs], flat.aux[idxs])
-                            logp = dist.log_prob(flat.actions[idxs])
-                            ratio = (logp - Tensor(flat.log_probs[idxs])).exp()
-                            adv = Tensor(norm_adv[idxs])
-                            surr1 = ratio * adv
-                            surr2 = ratio.clip(1.0 - ppo.clip_eps,
-                                               1.0 + ppo.clip_eps) * adv
-                            policy_loss = -Tensor.minimum(surr1, surr2).mean()
-
-                            ret = flat.returns[idxs]
-                            old_value = flat.values[idxs]
-                            v_clipped = Tensor(old_value) + (
-                                value - Tensor(old_value)).clip(
-                                -ppo.value_clip, ppo.value_clip)
-                            value_loss = Tensor.maximum(
-                                (value - Tensor(ret)) ** 2,
-                                (v_clipped - Tensor(ret)) ** 2).mean()
-                            entropy = dist.entropy().mean()
-
-                            total = (policy_loss + ppo.value_coef * value_loss
-                                     - self._entropy_coef * entropy)
-                            annotate(total, "ippo.uav_loss")
-                        self.uav_optimizer.zero_grad()
-                        with obs_scope("backward"):
-                            total.backward()
-                        with obs_scope("optim"):
-                            clip_grad_norm(self.uav_optimizer.params,
-                                           ppo.max_grad_norm)
-                            self.uav_optimizer.step()
-                    counter_add("optim/uav_steps")
-                    pl = float(policy_loss.item())
-                    histogram_observe("loss/uav_policy", pl)
+                            res = self._uav_step(
+                                flat.grids[idxs], flat.aux[idxs],
+                                flat.actions[idxs], flat.log_probs[idxs],
+                                norm_adv[idxs], flat.values[idxs],
+                                flat.returns[idxs],
+                                np.asarray(self._entropy_coef,
+                                           dtype=np.float64))
+                        pl, vl = self._uav_apply(res)
                     policy_losses.append(pl)
-                    value_losses.append(float(value_loss.item()))
+                    value_losses.append(vl)
         return {"uav_policy_loss": float(np.mean(policy_losses)),
                 "uav_value_loss": float(np.mean(value_losses))}
 
@@ -569,45 +628,32 @@ class IPPOTrainer:
                     batch = [samples[i] for i in idxs]
                     with self._sanitize():
                         with obs_scope("forward"):
-                            dist, value = self.uav_policy(
-                                [s.observation for s in batch])
                             # Ragged per-sample fields gathered once per
                             # minibatch (list-based legacy update path).
                             actions = np.stack([s.action for s in batch])  # reprolint: disable=PF002
-                            logp = dist.log_prob(actions)
-                            ratio = (logp - Tensor(
-                                np.array([s.log_prob for s in batch]))).exp()  # reprolint: disable=PF002
-                            adv = Tensor(norm_adv[idxs])
-                            surr1 = ratio * adv
-                            surr2 = ratio.clip(1.0 - ppo.clip_eps,
-                                               1.0 + ppo.clip_eps) * adv
-                            policy_loss = -Tensor.minimum(surr1, surr2).mean()
-
+                            old_logp = np.array([s.log_prob for s in batch])  # reprolint: disable=PF002
                             ret = np.array([s.ret for s in batch])
                             old_value = np.array([s.value for s in batch])
-                            v_clipped = Tensor(old_value) + (
-                                value - Tensor(old_value)).clip(
-                                -ppo.value_clip, ppo.value_clip)
-                            value_loss = Tensor.maximum(
-                                (value - Tensor(ret)) ** 2,
-                                (v_clipped - Tensor(ret)) ** 2).mean()
-                            entropy = dist.entropy().mean()
-
-                            total = (policy_loss + ppo.value_coef * value_loss
-                                     - self._entropy_coef * entropy)
-                            annotate(total, "ippo.uav_loss")
-                        self.uav_optimizer.zero_grad()
-                        with obs_scope("backward"):
-                            total.backward()
-                        with obs_scope("optim"):
-                            clip_grad_norm(self.uav_optimizer.params,
-                                           ppo.max_grad_norm)
-                            self.uav_optimizer.step()
-                    counter_add("optim/uav_steps")
-                    pl = float(policy_loss.item())
-                    histogram_observe("loss/uav_policy", pl)
+                            # UAVPolicy.forward is exactly stack +
+                            # forward_arrays, so the shared array step
+                            # applies; duck-typed policies without the
+                            # array forward keep the list-based loss.
+                            if hasattr(self.uav_policy, "forward_arrays"):
+                                obs = [s.observation for s in batch]
+                                grids = np.stack([o.grid for o in obs])  # reprolint: disable=PF002
+                                aux = np.stack([o.aux for o in obs])  # reprolint: disable=PF002
+                                res = self._uav_step(
+                                    grids, aux, actions, old_logp,
+                                    norm_adv[idxs], old_value, ret,
+                                    np.asarray(self._entropy_coef,
+                                               dtype=np.float64))
+                            else:
+                                res = self._uav_loss_list(
+                                    batch, actions, old_logp,
+                                    norm_adv[idxs], old_value, ret)
+                        pl, vl = self._uav_apply(res)
                     policy_losses.append(pl)
-                    value_losses.append(float(value_loss.item()))
+                    value_losses.append(vl)
         return {"uav_policy_loss": float(np.mean(policy_losses)),
                 "uav_value_loss": float(np.mean(value_losses))}
 

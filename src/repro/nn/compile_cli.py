@@ -1,0 +1,203 @@
+"""``repro compile`` — lower GARL's UAV step into a plan and report it.
+
+Builds the real GARL trainer on a small campus, captures one UAV
+surrogate-loss minibatch through :class:`repro.nn.CompiledStep`, and
+prints the resulting :class:`~repro.nn.compile.CompiledPlan`: fused
+groups, arena footprint vs. per-op allocation, the input guard set, and
+the CSE/backward statistics.
+
+Two gates make the command CI-usable:
+
+* the default report exits 1 when the plan misses the quality floor
+  (fewer than 3 fused groups, or an arena not strictly below the sum of
+  per-op allocations);
+* ``--smoke`` additionally replays the plan against the eager tape and
+  exits 2 on any bitwise mismatch in outputs or parameter gradients —
+  the golden-equivalence contract of :mod:`repro.nn.compile`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import replace
+
+import numpy as np
+
+__all__ = ["build_uav_step", "golden_smoke", "main"]
+
+
+def build_uav_step(campus: str = "kaist", preset: str = "smoke",
+                   num_ugvs: int = 2, num_uavs_per_ugv: int = 1,
+                   seed: int = 0, minibatch: int = 16):
+    """GARL trainer (compile enabled) + one real UAV minibatch.
+
+    Returns ``(trainer, args)`` where ``args`` is the argument tuple of
+    :meth:`IPPOTrainer._uav_loss_arrays` for one rollout minibatch.
+    """
+    # Heavy imports stay local: repro.nn must not pull the experiment
+    # stack at import time.
+    from ..core import IPPOTrainer, UAVPolicy, UGVPolicy
+    from ..experiments.presets import get_preset
+    from ..experiments.runner import build_env
+
+    preset_obj = get_preset(preset)
+    env = build_env(campus, preset_obj, num_ugvs, num_uavs_per_ugv, seed)
+    cfg = preset_obj.garl_config()
+    rng = np.random.default_rng(seed)
+    ugv = UGVPolicy(env.stops, cfg, rng=rng)
+    uav = UAVPolicy(env.config.uav_obs_size, cfg, rng=rng)
+    trainer = IPPOTrainer(env, ugv, uav, replace(cfg.ppo, compile=True),
+                          seed=seed)
+
+    _, uav_roll, *_ = trainer.collect_vec(episodes=1, num_envs=2)
+    flat = uav_roll.flat_samples(trainer.ppo.gamma, trainer.ppo.gae_lambda)
+    if len(flat) == 0:
+        raise RuntimeError("rollout produced no airborne UAV samples")
+    adv = flat.advantages
+    norm_adv = (adv - adv.mean()) / (adv.std() + 1e-8)
+    idxs = np.arange(min(minibatch, len(flat)))
+    args = (flat.grids[idxs], flat.aux[idxs], flat.actions[idxs],
+            flat.log_probs[idxs], norm_adv[idxs], flat.values[idxs],
+            flat.returns[idxs],
+            np.asarray(trainer._entropy_coef, dtype=np.float64))
+    return trainer, args
+
+
+def golden_smoke(trainer, args) -> list[str]:
+    """Bitwise golden-equivalence check; returns mismatch descriptions.
+
+    Captures the plan, replays it twice, runs the same minibatch through
+    a plain eager step, and demands bit-for-bit identical outputs and
+    parameter gradients everywhere — plus an eager fallback (not a
+    corrupt replay) when the input signature changes.
+    """
+    step = trainer._uav_step
+    params = trainer.uav_optimizer.params
+    errors: list[str] = []
+
+    def grads():
+        out = [None if p.grad is None else p.grad.copy() for p in params]
+        for p in params:
+            p.grad = None
+        return out
+
+    def run(label):
+        res = step(*args)
+        res.backward()
+        return res.mode, tuple(np.asarray(o).copy() for o in res.outputs), grads()
+
+    _, out_cap, g_cap = run("capture")
+    mode1, out_rep1, g_rep1 = run("replay-1")
+    mode2, out_rep2, g_rep2 = run("replay-2")
+    step.enabled = False
+    _, out_eager, g_eager = run("eager")
+    step.enabled = True
+
+    if step.disabled_reason:
+        errors.append(f"plan lowering failed: {step.disabled_reason}")
+        return errors
+    if mode1 != "replay" or mode2 != "replay":
+        errors.append(f"expected replays, got {mode1}/{mode2}")
+
+    for label, outs, gs in (("replay-1", out_rep1, g_rep1),
+                            ("replay-2", out_rep2, g_rep2),
+                            ("eager", out_eager, g_eager)):
+        if not all(np.array_equal(a, b) for a, b in zip(out_cap, outs)):
+            errors.append(f"{label}: outputs differ from capture")
+        bad = [i for i, (a, b) in enumerate(zip(g_cap, gs))
+               if not np.array_equal(a, b)]
+        if bad:
+            errors.append(f"{label}: gradients differ at params {bad}")
+
+    # Shape-guard fallback: a different batch size must not replay the
+    # stale plan (fresh capture or eager are both sound).
+    half = tuple(a[: max(1, len(args[0]) // 2)] if a.ndim else a
+                 for a in args)
+    res = step(*half)
+    if res.mode == "replay" and len(half[0]) != len(args[0]):
+        errors.append("guard failure: replayed a plan for a different shape")
+    return errors
+
+
+def _print_plan(stats: dict) -> None:
+    print(f"plan '{stats['name']}': {stats['nodes']} ops, "
+          f"{stats['inputs']} inputs, {stats['params']} params, "
+          f"{stats['consts']} consts")
+    print(f"  guards: {[tuple(g['shape']) for g in stats['guards']]}")
+    print(f"  cse merged: {stats['cse_merged']}, "
+          f"backward ops: {stats['backward_ops']}")
+    print(f"  fused groups: {len(stats['fused_groups'])}")
+    for i, g in enumerate(stats["fused_groups"]):
+        print(f"    [{i}] {'+'.join(g['ops'])} (saves {g['saved_bytes']} B)")
+    total = stats["total_alloc_bytes"]
+    arena = stats["arena_bytes"]
+    print(f"  arena: {arena} B over {stats['arena_backed_ops']} out= ops "
+          f"(per-op alloc {total} B, peak live {stats['peak_live_bytes']} B, "
+          f"reuse {stats['reuse_ratio']:.1%})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro compile",
+        description="lower GARL's UAV surrogate step through the compiled "
+                    "plan executor and report fused groups, arena bytes "
+                    "and the guard set")
+    parser.add_argument("--campus", default="kaist")
+    parser.add_argument("--preset", default="smoke")
+    parser.add_argument("--ugvs", type=int, default=2)
+    parser.add_argument("--uavs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--minibatch", type=int, default=16)
+    parser.add_argument("--smoke", action="store_true",
+                        help="also verify bitwise replay/eager equivalence "
+                             "(exit 2 on mismatch)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the plan statistics as JSON")
+    args = parser.parse_args(argv)
+
+    trainer, step_args = build_uav_step(
+        campus=args.campus, preset=args.preset, num_ugvs=args.ugvs,
+        num_uavs_per_ugv=args.uavs, seed=args.seed,
+        minibatch=args.minibatch)
+
+    smoke_errors: list[str] = []
+    if args.smoke:
+        smoke_errors = golden_smoke(trainer, step_args)
+    else:
+        trainer._uav_step(*step_args)  # capture only
+
+    step = trainer._uav_step
+    if step.disabled_reason:
+        print(f"compile: lowering failed: {step.disabled_reason}")
+        return 1
+    stats = step.describe()["plans"][0]
+    _print_plan(stats)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}")
+
+    ok = True
+    if len(stats["fused_groups"]) < 3:
+        print("compile: FAIL — fewer than 3 fused groups")
+        ok = False
+    if stats["arena_bytes"] >= stats["total_alloc_bytes"]:
+        print("compile: FAIL — arena does not beat per-op allocation")
+        ok = False
+    if smoke_errors:
+        for e in smoke_errors:
+            print(f"compile: MISMATCH — {e}")
+        print("\ncompile: golden equivalence FAILED")
+        return 2
+    if not ok:
+        return 1
+    suffix = " (golden equivalence verified)" if args.smoke else ""
+    print(f"\ncompile: plan ok{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -219,7 +219,7 @@ class Tensor:
     # Graph plumbing
     # ------------------------------------------------------------------
     def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"],
-                    op: str | None = None) -> "Tensor":
+                    op: str | None = None, attrs: dict | None = None) -> "Tensor":
         child = Tensor(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             child.requires_grad = True
@@ -227,7 +227,7 @@ class Tensor:
         if _anomaly._ENABLED:
             _anomaly.record_op(child, parents, op)
         if _tracer._ACTIVE is not None:
-            _tracer._ACTIVE.record_op(child, parents, op)
+            _tracer._ACTIVE.record_op(child, parents, op, attrs)
         return child
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -340,7 +340,8 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        out = self._make_child(self.data**exponent, (self,))
+        out = self._make_child(self.data**exponent, (self,),
+                               attrs={"exponent": exponent})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -445,7 +446,8 @@ class Tensor:
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
         """Elementwise ``x if x > 0 else slope * x``."""
-        out = self._make_child(np.where(self.data > 0, self.data, slope * self.data), (self,))
+        out = self._make_child(np.where(self.data > 0, self.data, slope * self.data), (self,),
+                               attrs={"slope": slope})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -467,7 +469,8 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient is passed through inside the active range."""
-        out = self._make_child(np.clip(self.data, low, high), (self,))
+        out = self._make_child(np.clip(self.data, low, high), (self,),
+                               attrs={"low": low, "high": high})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -482,7 +485,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Sum over ``axis`` (all elements when None)."""
-        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,),
+                               attrs={"axis": axis, "keepdims": keepdims})
 
         def _backward() -> None:
             if not self.requires_grad:
@@ -510,7 +514,8 @@ class Tensor:
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Maximum over ``axis``; gradient flows to the argmax elements."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
-        out = self._make_child(out_data, (self,))
+        out = self._make_child(out_data, (self,),
+                               attrs={"axis": axis, "keepdims": keepdims})
 
         def _backward() -> None:
             if not self.requires_grad:
@@ -545,7 +550,8 @@ class Tensor:
         """Same elements in a new shape (one dimension may be -1)."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = self._make_child(self.data.reshape(shape), (self,))
+        out = self._make_child(self.data.reshape(shape), (self,),
+                               attrs={"shape": tuple(shape)})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -564,7 +570,8 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        out = self._make_child(self.data.transpose(axes), (self,))
+        out = self._make_child(self.data.transpose(axes), (self,),
+                               attrs={"axes": tuple(axes)})
         inverse = np.argsort(axes)
 
         def _backward() -> None:
@@ -581,7 +588,8 @@ class Tensor:
         return self.transpose(*axes)
 
     def __getitem__(self, index) -> "Tensor":
-        out = self._make_child(self.data[index], (self,))
+        out = self._make_child(self.data[index], (self,),
+                               attrs={"index": index})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -594,7 +602,8 @@ class Tensor:
 
     def expand_dims(self, axis: int) -> "Tensor":
         """Insert a length-1 axis at ``axis``."""
-        out = self._make_child(np.expand_dims(self.data, axis), (self,))
+        out = self._make_child(np.expand_dims(self.data, axis), (self,),
+                               attrs={"axis": axis})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -605,7 +614,8 @@ class Tensor:
 
     def squeeze(self, axis: int | None = None) -> "Tensor":
         """Drop length-1 axes (all of them, or just ``axis``)."""
-        out = self._make_child(np.squeeze(self.data, axis=axis), (self,))
+        out = self._make_child(np.squeeze(self.data, axis=axis), (self,),
+                               attrs={"axis": axis})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -622,7 +632,7 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         soft = exp / exp.sum(axis=axis, keepdims=True)
-        out = self._make_child(soft, (self,))
+        out = self._make_child(soft, (self,), attrs={"axis": axis})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -638,7 +648,7 @@ class Tensor:
         """Numerically stable log-softmax along ``axis``."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        out = self._make_child(shifted - logsumexp, (self,))
+        out = self._make_child(shifted - logsumexp, (self,), attrs={"axis": axis})
 
         def _backward() -> None:
             if self.requires_grad:
@@ -671,7 +681,7 @@ class Tensor:
         """Concatenate tensors along an existing axis."""
         tensors = [as_tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
-        out = tensors[0]._make_child(data, tensors)
+        out = tensors[0]._make_child(data, tensors, attrs={"axis": axis})
 
         def _backward() -> None:
             offset = 0
@@ -692,7 +702,7 @@ class Tensor:
         """Stack tensors along a new axis."""
         tensors = [as_tensor(t) for t in tensors]
         data = np.stack([t.data for t in tensors], axis=axis)
-        out = tensors[0]._make_child(data, tensors)
+        out = tensors[0]._make_child(data, tensors, attrs={"axis": axis})
 
         def _backward() -> None:
             grads = np.moveaxis(out.grad, axis, 0)
@@ -708,7 +718,8 @@ class Tensor:
         """Select from ``a`` where ``condition`` else ``b``."""
         a, b = as_tensor(a), as_tensor(b)
         cond = np.asarray(condition, dtype=bool)
-        out = a._make_child(np.where(cond, a.data, b.data), (a, b))
+        out = a._make_child(np.where(cond, a.data, b.data), (a, b),
+                            attrs={"cond": cond})
 
         def _backward() -> None:
             if a.requires_grad:
@@ -721,12 +732,38 @@ class Tensor:
 
     @staticmethod
     def maximum(a: "Tensor", b: "Tensor") -> "Tensor":
-        """Elementwise maximum of two tensors."""
+        """Elementwise maximum of two tensors.
+
+        A first-class op (not a ``where`` with a baked mask) so the
+        compiled executor can recompute the selection mask from fresh
+        inputs on replay; ties take the gradient from ``a``, matching
+        the historical ``where(a >= b, a, b)`` lowering bit-for-bit.
+        """
         a, b = as_tensor(a), as_tensor(b)
-        return Tensor.where(a.data >= b.data, a, b)
+        cond = a.data >= b.data
+        out = a._make_child(np.where(cond, a.data, b.data), (a, b), op="maximum")
+
+        def _backward() -> None:
+            if a.requires_grad:
+                a._accumulate(np.where(cond, out.grad, 0.0))
+            if b.requires_grad:
+                b._accumulate(np.where(cond, 0.0, out.grad))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
 
     @staticmethod
     def minimum(a: "Tensor", b: "Tensor") -> "Tensor":
-        """Elementwise minimum of two tensors."""
+        """Elementwise minimum of two tensors (ties favour ``a``)."""
         a, b = as_tensor(a), as_tensor(b)
-        return Tensor.where(a.data <= b.data, a, b)
+        cond = a.data <= b.data
+        out = a._make_child(np.where(cond, a.data, b.data), (a, b), op="minimum")
+
+        def _backward() -> None:
+            if a.requires_grad:
+                a._accumulate(np.where(cond, out.grad, 0.0))
+            if b.requires_grad:
+                b._accumulate(np.where(cond, 0.0, out.grad))
+
+        out._backward = _backward if out.requires_grad else None
+        return out

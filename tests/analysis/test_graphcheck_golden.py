@@ -27,9 +27,9 @@ NUM_STOPS = 38  # kaist at smoke scale
 
 GOLDEN_UGV_OPS = {
     "add": 71, "concat": 10, "exp": 1, "expand_dims": 15, "getitem": 36,
-    "log_softmax": 1, "matmul": 83, "mul": 37, "neg": 13, "pow": 6,
-    "reshape": 9, "softmax": 12, "squeeze": 7, "stack": 11, "sum": 26,
-    "tanh": 20, "transpose": 2, "truediv": 22, "where": 3,
+    "log_softmax": 1, "matmul": 83, "minimum": 3, "mul": 37, "neg": 13,
+    "pow": 6, "reshape": 9, "softmax": 12, "squeeze": 7, "stack": 11,
+    "sum": 26, "tanh": 20, "transpose": 2, "truediv": 22,
 }
 
 GOLDEN_UAV_OPS = {

@@ -1,0 +1,222 @@
+"""Tests for the compiled plan executor (``repro.nn.compile``).
+
+The executor's contract is bitwise golden equivalence: a replayed plan
+must reproduce the eager tape's outputs and parameter gradients to the
+last ulp, or fall back to the eager path.  The property suite drives
+random small graphs from the op registry through capture/replay/eager;
+the GARL tests exercise the real UAV surrogate-loss step end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import CompiledStep, Tensor
+
+
+def bitexact(a, b) -> bool:
+    """Last-ulp equality: same shape, same dtype, same bytes."""
+    a, b = np.asarray(a), np.asarray(b)
+    return a.shape == b.shape and a.dtype == b.dtype \
+        and a.tobytes() == b.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Property suite: random graphs over the op registry
+# ----------------------------------------------------------------------
+def _apply_unary(name: str, t: Tensor) -> Tensor:
+    return {
+        "tanh": lambda: t.tanh(),
+        "exp": lambda: t.clip(-3.0, 3.0).exp(),
+        "relu": lambda: t.relu(),
+        "neg": lambda: -t,
+        "abs": lambda: t.abs(),
+        "sigmoid": lambda: t.sigmoid(),
+        "clip": lambda: t.clip(-2.0, 2.0),
+        "log": lambda: (t.abs() + 1.0).log(),
+        "square": lambda: t * t,
+    }[name]()
+
+
+def _apply_binary(name: str, a: Tensor, b: Tensor) -> Tensor:
+    return {
+        "add": lambda: a + b,
+        "sub": lambda: a - b,
+        "mul": lambda: a * b,
+        "div": lambda: a / (b.abs() + 1.0),
+        "maximum": lambda: Tensor.maximum(a, b),
+        "minimum": lambda: Tensor.minimum(a, b),
+    }[name]()
+
+
+UNARY = ["tanh", "exp", "relu", "neg", "abs", "sigmoid", "clip", "log",
+         "square"]
+BINARY = ["add", "sub", "mul", "div", "maximum", "minimum"]
+
+graph_programs = st.lists(
+    st.one_of(
+        st.tuples(st.just("u"), st.sampled_from(UNARY),
+                  st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("b"), st.sampled_from(BINARY),
+                  st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=7)),
+    ),
+    min_size=1, max_size=8)
+
+finite_matrix = st.lists(
+    st.floats(min_value=-2.0, max_value=2.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=12, max_size=12).map(
+        lambda xs: np.asarray(xs, dtype=np.float64).reshape(4, 3))
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=graph_programs, x=finite_matrix, y=finite_matrix)
+def test_random_graph_replay_matches_eager(program, x, y):
+    param = Tensor(np.linspace(-1.0, 1.0, 3), requires_grad=True)
+
+    def fn(x_arr, y_arr):
+        pool = [Tensor(x_arr), Tensor(y_arr), param]
+        for instr in program:
+            if instr[0] == "u":
+                _, name, i = instr
+                pool.append(_apply_unary(name, pool[i % len(pool)]))
+            else:
+                _, name, i, j = instr
+                pool.append(_apply_binary(name, pool[i % len(pool)],
+                                          pool[j % len(pool)]))
+        # Anchor both inputs into the graph (the compiler refuses plans
+        # with unused inputs) without changing the loss value.
+        loss = (pool[-1] * param + pool[0] * 0.0 + pool[1] * 0.0).mean()
+        return (loss,)
+
+    step = CompiledStep(fn, name="prop")
+
+    def run():
+        param.grad = None
+        res = step(x, y)
+        res.backward()
+        return res.mode, np.asarray(res.outputs[0]).copy(), param.grad.copy()
+
+    run()  # capture
+    mode, out_replay, g_replay = run()
+    step.enabled = False
+    _, out_eager, g_eager = run()
+
+    assert step.disabled_reason is None
+    assert mode == "replay"
+    assert bitexact(out_replay, out_eager)
+    assert bitexact(g_replay, g_eager)
+
+
+# ----------------------------------------------------------------------
+# Dispatch: guards, fallback, plan cache
+# ----------------------------------------------------------------------
+class TestDispatch:
+    def _step(self, max_plans=8):
+        param = Tensor(np.arange(3.0), requires_grad=True)
+        step = CompiledStep(
+            lambda x: (((Tensor(x) * param).tanh() + 1.0).mean(),),
+            name="guarded", max_plans=max_plans)
+        return step, param
+
+    def test_new_shape_captures_fresh_plan(self):
+        step, _ = self._step()
+        a, b = np.ones((4, 3)), np.full((2, 3), 0.5)
+        step(a)
+        assert step(a).mode == "replay"
+        res = step(b)  # different batch: must not replay the stale plan
+        assert res.mode == "capture"
+        assert step(b).mode == "replay"
+        assert len(step.plans) == 2
+
+    def test_cache_full_falls_back_to_eager_identically(self):
+        step, param = self._step(max_plans=1)
+        step(np.ones((4, 3)))
+        b = np.full((2, 3), 0.25)
+
+        def run():
+            param.grad = None
+            res = step(b)
+            res.backward()
+            return res.mode, np.asarray(res.outputs[0]).copy(), \
+                param.grad.copy()
+
+        mode, out, grad = run()
+        assert mode == "eager"
+        step.enabled = False
+        _, out_ref, grad_ref = run()
+        assert bitexact(out, out_ref) and bitexact(grad, grad_ref)
+
+    def test_disabled_step_never_compiles(self):
+        step, _ = self._step()
+        step.enabled = False
+        assert step(np.ones((4, 3))).mode == "eager"
+        assert step.plans == {}
+
+
+# ----------------------------------------------------------------------
+# The real GARL UAV surrogate step
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def uav_step():
+    from repro.nn.compile_cli import build_uav_step
+    return build_uav_step(minibatch=8)
+
+
+class TestGarlUavStep:
+    def test_golden_equivalence(self, uav_step):
+        from repro.nn.compile_cli import golden_smoke
+        trainer, args = uav_step
+        assert golden_smoke(trainer, args) == []
+
+    def test_plan_quality_floor(self, uav_step):
+        trainer, args = uav_step
+        trainer._uav_step(*args)
+        stats = trainer._uav_step.describe()["plans"][0]
+        assert len(stats["fused_groups"]) >= 3
+        assert stats["arena_bytes"] < stats["total_alloc_bytes"]
+
+    def test_profiled_replay_reports_fused_segments(self, uav_step):
+        from repro.obs.opprof import TimedTrace
+        trainer, args = uav_step
+        trainer._uav_step(*args)  # ensure the plan exists
+        with TimedTrace() as tr:
+            res = trainer._uav_step(*args)
+        assert res.mode == "replay"
+        assert tr.fused
+        assert all(row[2] == "nn.compile" for row in tr.fused)
+        fused_rows = [row for row in tr.fused if row[0] == "fused"]
+        assert fused_rows and any("+" in row[1] for row in fused_rows)
+
+
+@pytest.mark.slow
+def test_compiled_training_matches_eager_bitwise():
+    """Three full optimizer steps: compiled and eager params stay equal."""
+    from repro.nn.compile_cli import build_uav_step
+
+    def params_after(enabled):
+        trainer, args = build_uav_step(minibatch=8)
+        trainer._uav_step.enabled = enabled
+        for _ in range(3):
+            res = trainer._uav_step(*args)
+            trainer._uav_apply(res)
+        return [p.data.copy() for p in trainer.uav_optimizer.params]
+
+    compiled = params_after(True)
+    eager = params_after(False)
+    assert all(bitexact(a, b) for a, b in zip(compiled, eager))
+
+
+# ----------------------------------------------------------------------
+# PF005 audit (see ISSUE 8): the premise that PF005 suppressions had
+# accumulated was false — the codebase has none, and none should appear.
+# ----------------------------------------------------------------------
+def test_no_pf005_suppressions_in_source():
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    offenders = [str(p) for p in src.rglob("*.py")
+                 if "disable=PF005" in p.read_text()]
+    assert offenders == []
