@@ -18,9 +18,12 @@ bit-determinism contract (resume ≡ uninterrupted, K=1 ≡ sequential):
 * **DT003** — unordered-iteration hazards: iterating a ``set``,
   ``os.listdir``/``glob`` results used unsorted, and ``id()``-keyed
   dict access (the PR 3 ``(episode, t)`` grouping bug class).
-* **DT004** — fork-unsafety ahead of the multi-process worker pool:
-  module-level mutable state mutated from functions, and module-level
-  file handles / rng objects that a forked worker would share.
+* **DT004** — fork-unsafety across the multi-process worker pool:
+  module-level mutable state (weakref containers included) mutated from
+  functions, and module-level file handles / rng objects that a forked
+  worker would share.  Globals reset by an ``os.register_at_fork``
+  cleanup hook are exempt — the hook makes the fork boundary safe by
+  construction (see :func:`_fork_guarded_names`).
 """
 
 from __future__ import annotations
@@ -269,7 +272,12 @@ def check_unordered_iteration(tree: ast.AST, ctx: Context):
 # DT004 — fork-unsafe-state
 # ----------------------------------------------------------------------
 _MUTABLE_CONSTRUCTORS = {"dict", "list", "set", "defaultdict", "OrderedDict",
-                         "deque", "Counter"}
+                         "deque", "Counter",
+                         # weakref containers hold registries (e.g. the
+                         # compiled-plan cache set) and fork exactly like
+                         # their strong counterparts.
+                         "WeakSet", "WeakValueDictionary",
+                         "WeakKeyDictionary"}
 _MUTATOR_METHODS = {"append", "add", "update", "extend", "insert", "pop",
                     "popitem", "remove", "discard", "clear", "setdefault",
                     "appendleft", "extendleft"}
@@ -314,11 +322,47 @@ def _module_level_hazards(tree: ast.Module) -> tuple[set[str], list[tuple[ast.AS
     return mutable, findings
 
 
+def _fork_guarded_names(tree: ast.Module) -> set[str]:
+    """Module globals reset by an ``os.register_at_fork`` hook.
+
+    Two sanctioned guard shapes (both used across the repo)::
+
+        os.register_at_fork(after_in_child=_CACHE.clear)
+        os.register_at_fork(after_in_child=_reset_in_child)
+
+    A bound-method callback guards its owner directly; a function
+    callback guards every module global it touches (names it loads,
+    stores, or declares ``global``).  State a child is guaranteed to
+    clear at the fork boundary cannot leak parent mutations into a
+    worker, so DT004 exempts mutations of guarded names — the audit
+    trail for *what* is guarded lives in the shared-state map.
+    """
+    funcs = {fn.name: fn for fn in ast.walk(tree)
+             if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    guarded: set[str] = set()
+    for call in _calls(tree):
+        f = call.func
+        if not (isinstance(f, ast.Attribute) and f.attr == "register_at_fork"):
+            continue
+        for value in (*call.args, *(kw.value for kw in call.keywords)):
+            if (isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)):
+                guarded.add(value.value.id)
+            elif isinstance(value, ast.Name) and value.id in funcs:
+                for node in ast.walk(funcs[value.id]):
+                    if isinstance(node, ast.Name):
+                        guarded.add(node.id)
+                    elif isinstance(node, ast.Global):
+                        guarded.update(node.names)
+    return guarded
+
+
 def check_fork_unsafe_state(tree: ast.AST, ctx: Context):
     if not isinstance(tree, ast.Module):
         return
     mutable_globals, findings = _module_level_hazards(tree)
     yield from findings
+    mutable_globals -= _fork_guarded_names(tree)
     if not mutable_globals:
         return
     for fn in ast.walk(tree):
@@ -375,7 +419,8 @@ DT_RULES: list[Rule] = [
          "set iteration, unsorted directory listings, id()-keyed dicts",
          check_unordered_iteration, src_only=True, engine_exempt=True),
     Rule("DT004", "fork-unsafe-state",
-         "Module-level mutable state mutated from functions; module-level "
-         "file handles / rng objects shared across forks",
+         "Module-level mutable state (incl. weakref containers) mutated "
+         "from functions; module-level file handles / rng objects shared "
+         "across forks; os.register_at_fork cleanup hooks exempt",
          check_fork_unsafe_state, src_only=True, engine_exempt=True),
 ]

@@ -49,7 +49,14 @@ from .tracer import TapeRecord, active_trace, is_tracing, trace
 
 # Imported last: the compiler reaches into repro.analysis lazily, but its
 # module body touches most of the engine surface above.
-from .compile import CompiledPlan, CompiledStep, CompileError, StepResult, compile_step
+from .compile import (
+    CompiledPlan,
+    CompiledStep,
+    CompileError,
+    StepResult,
+    clear_plan_caches,
+    compile_step,
+)
 
 __all__ = [
     "functional",
@@ -71,6 +78,7 @@ __all__ = [
     "CompiledPlan",
     "CompiledStep",
     "StepResult",
+    "clear_plan_caches",
     "compile_step",
     "Module",
     "Parameter",

@@ -184,6 +184,68 @@ def test_dt004_silent_on_constants_and_engine_paths():
     assert codes(bad, ENGINE_PATH) == []
 
 
+def test_dt004_fires_on_weakref_container_mutation():
+    bad = """
+    import weakref
+
+    _REGISTRY = weakref.WeakSet()
+    _BY_NAME = weakref.WeakValueDictionary()
+
+    def register(obj):
+        _REGISTRY.add(obj)
+        _BY_NAME[obj.name] = obj
+    """
+    assert codes(bad).count("DT004") == 2
+
+
+def test_dt004_exempts_at_fork_guarded_globals():
+    # Bound-method hook: the cache is cleared on the child side of every
+    # fork, so parent mutations cannot leak into a worker.
+    guarded_method = """
+    import os
+
+    _CACHE = {}
+    if hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=_CACHE.clear)
+
+    def remember(key, value):
+        _CACHE[key] = value
+    """
+    assert codes(guarded_method) == []
+
+    # Function hook: every global the callback resets is guarded.
+    guarded_fn = """
+    import os
+    import weakref
+
+    _STEPS = weakref.WeakSet()
+
+    def _clear_in_child():
+        for step in list(_STEPS):
+            step.plans.clear()
+
+    os.register_at_fork(after_in_child=_clear_in_child)
+
+    def register(step):
+        _STEPS.add(step)
+    """
+    assert codes(guarded_fn) == []
+
+    # A hook for one global does not launder the others.
+    partial = """
+    import os
+
+    _CACHE = {}
+    _LOG = []
+    os.register_at_fork(after_in_child=_CACHE.clear)
+
+    def remember(key, value):
+        _CACHE[key] = value
+        _LOG.append(key)
+    """
+    assert codes(partial).count("DT004") == 1
+
+
 # ----------------------------------------------------------------------
 # Suppression
 # ----------------------------------------------------------------------
