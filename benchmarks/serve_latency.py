@@ -1,0 +1,189 @@
+"""Load-test the ``repro serve`` inference service against its SLOs.
+
+End to end, the way an operator would: train a one-iteration smoke
+checkpoint (or take ``--artifact``), freeze it with
+:func:`repro.serve.artifact.export_artifact`, boot the real
+``python -m repro serve`` process on an ephemeral port, then replay
+recorded environment observations from many concurrent scenario streams
+(:mod:`repro.serve.loadgen`) over keep-alive connections.
+
+Reported per run: p50/p90/p99/max latency, sustained throughput, shed
+(429) and timeout (504) rates, plus the engine's own batch accounting
+scraped from ``/v1/metrics``.  Results land in ``BENCH_serve.json`` at
+the repo root::
+
+    PYTHONPATH=src python benchmarks/serve_latency.py
+
+``--quick`` runs a reduced stream count, skips the JSON write unless
+``--write`` is also given, and exits non-zero when the p99 latency
+reaches ``--gate-ms`` or any request errs — the CI regression gate for
+the serving subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.loadgen import build_observation_pool, run_load  # noqa: E402
+
+GATE_P99_MS_QUICK = 500.0
+GATE_P99_MS_FULL = 2000.0
+
+
+def _make_artifact(workdir: Path) -> Path:
+    """One smoke training iteration, frozen into an artifact."""
+    from repro.experiments.runner import run_training
+    from repro.serve.artifact import export_artifact
+
+    run_dir = workdir / "run"
+    run_training("garl", "kaist", "smoke", train_iterations=1,
+                 checkpoint_dir=run_dir, save_every=1, handle_signals=False)
+    return export_artifact(run_dir, workdir / "artifact")
+
+
+def _boot_service(artifact: Path, workdir: Path, *, max_batch: int,
+                  max_wait_us: float, queue_limit: int,
+                  timeout_ms: float) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    ready = workdir / "ready"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(artifact),
+         "--port", "0", "--ready-file", str(ready),
+         "--max-batch", str(max_batch),
+         "--max-wait-us", str(max_wait_us),
+         "--queue-limit", str(queue_limit),
+         "--timeout-ms", str(timeout_ms)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.perf_counter() + 120
+    while not ready.exists():
+        if proc.poll() is not None:
+            raise RuntimeError(f"service died:\n{proc.stdout.read()}")
+        if time.perf_counter() > deadline:
+            proc.kill()
+            raise RuntimeError("service never became ready")
+        time.sleep(0.05)
+    host, port = ready.read_text().split()
+    return proc, host, int(port)
+
+
+def _scrape_metrics(host: str, port: int) -> dict:
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    conn.request("GET", "/v1/metrics")
+    blob = json.loads(conn.getresponse().read())
+    conn.close()
+    return blob
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifact", type=Path, default=None,
+                        help="existing artifact dir (default: train+export)")
+    parser.add_argument("--streams", type=int, default=1000,
+                        help="concurrent scenario streams (default 1000)")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="requests per stream (default 4)")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-us", type=float, default=4000.0)
+    parser.add_argument("--queue-limit", type=int, default=2048)
+    parser.add_argument("--timeout-ms", type=float, default=5000.0)
+    parser.add_argument("--ramp-s", type=float, default=3.0,
+                        help="stagger window for opening connections")
+    parser.add_argument("--gate-ms", type=float, default=None,
+                        help="p99 SLO gate in ms (default: "
+                             f"{GATE_P99_MS_QUICK} quick / "
+                             f"{GATE_P99_MS_FULL} full saturation run)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load; enforce the p99 gate; no JSON "
+                             "write unless --write")
+    parser.add_argument("--write", action="store_true",
+                        help="write BENCH_serve.json even with --quick")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.streams = min(args.streams, 200)
+        args.requests = min(args.requests, 3)
+    if args.gate_ms is None:
+        args.gate_ms = GATE_P99_MS_QUICK if args.quick else GATE_P99_MS_FULL
+
+    workdir = Path(tempfile.mkdtemp(prefix="serve_bench_"))
+    proc = None
+    try:
+        artifact = args.artifact or _make_artifact(workdir)
+        print(f"artifact: {artifact}", flush=True)
+
+        pool = build_observation_pool("kaist", "smoke", 4, 2, seed=0)
+        print(f"observation pool: {len(pool)} timesteps", flush=True)
+
+        proc, host, port = _boot_service(
+            artifact, workdir, max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us, queue_limit=args.queue_limit,
+            timeout_ms=args.timeout_ms)
+        print(f"service up on {host}:{port}", flush=True)
+
+        summary = asyncio.run(run_load(
+            host, port, pool, streams=args.streams,
+            requests_per_stream=args.requests, ramp_s=args.ramp_s))
+        metrics = _scrape_metrics(host, port)
+
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+
+        result = {
+            "bench": "serve_latency",
+            "workload": {
+                "campus": "kaist", "preset": "smoke",
+                "num_ugvs": 4, "num_uavs_per_ugv": 2,
+                "pool_timesteps": len(pool),
+            },
+            "engine": {
+                "max_batch": args.max_batch,
+                "max_wait_us": args.max_wait_us,
+                "queue_limit": args.queue_limit,
+                "timeout_ms": args.timeout_ms,
+            },
+            "gate_p99_ms": args.gate_ms,
+            **summary,
+            "engine_stats": metrics.get("engine", {}),
+            "drain_exit_code": rc,
+        }
+        p99 = summary["latency_ms"]["p99"]
+        errors = (sum(summary["errors"].values())
+                  + summary["connect_errors"] + summary["timeouts"])
+        gate_passed = p99 < args.gate_ms and errors == 0 and rc == 0
+        result["gate_passed"] = gate_passed
+
+        print(json.dumps(result, indent=2))
+        if not args.quick or args.write:
+            out = REPO_ROOT / "BENCH_serve.json"
+            out.write_text(json.dumps(result, indent=2) + "\n")
+            print(f"wrote {out}")
+        if args.quick and not gate_passed:
+            print(f"GATE FAILED: p99 {p99:.2f} ms vs {args.gate_ms} ms, "
+                  f"errors={errors}, drain rc={rc}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,10 @@ PUBLIC_MODULES = (
     "repro.obs.metrics",
     "repro.obs.opprof",
     "repro.obs.export",
+    "repro.serve.artifact",
+    "repro.serve.engine",
+    "repro.serve.service",
+    "repro.serve.loadgen",
 )
 
 

@@ -22,8 +22,9 @@ sources (no imports are executed):
    style, and strictly over-approximate (a name match never *misses* a
    real call; it may add spurious reachability, which only widens the
    contract).
-3. **Reachability** from the training entrypoints (``run_training``,
-   ``run_method``, ``train`` — i.e. ``agent.train`` and everything it
+3. **Reachability** from the long-running entrypoints (``run_training``,
+   ``run_method``, ``run_service`` — the inference service — and
+   ``train`` — i.e. ``agent.train`` and everything it
    pulls in) via BFS.
 4. **Shared-state map**: every module global / class attribute that is
    *written* from some function, annotated with its writers and whether
@@ -46,7 +47,7 @@ from .rules import _MUTABLE_CONSTRUCTORS, _MUTATOR_METHODS, _fork_guarded_names
 __all__ = ["SharedStateMap", "StateSite", "Writer", "build_shared_state_map",
            "DEFAULT_ENTRYPOINTS", "WORKER_ENTRYPOINTS"]
 
-DEFAULT_ENTRYPOINTS = ("run_training", "run_method", "train")
+DEFAULT_ENTRYPOINTS = ("run_training", "run_method", "train", "run_service")
 
 # The rollout-worker process entrypoint (repro.env.workers): a second
 # BFS from here marks which state a *worker* can write, so the map

@@ -29,6 +29,11 @@ Commands mirror the paper's experiments:
                      bitwise replay/eager equivalence).
 * ``check``        — run all five analysis pillars with one summary
                      table and a combined exit code.
+* ``export``       — freeze a training checkpoint into a tape-free
+                     inference artifact (weights + config fingerprint +
+                     schema manifest), probe-verified bit-for-bit.
+* ``serve``        — stand up the micro-batched policy inference service
+                     over an exported artifact (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -201,6 +206,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="arguments for the meta-check "
                               "(--methods, --only, --verbose)")
 
+    p_export = sub.add_parser("export", help="freeze a training checkpoint "
+                                             "into an inference artifact")
+    p_export.add_argument("checkpoint",
+                          help="an iter_* checkpoint directory or a run "
+                               "directory (resolved via its 'latest' pointer)")
+    p_export.add_argument("--out", required=True,
+                          help="artifact output directory")
+    p_export.add_argument("--method", default=None, choices=sorted(AGENT_NAMES),
+                          help="override/supply the method when the "
+                               "checkpoint manifest predates the serve fields")
+    p_export.add_argument("--campus", default=None, choices=_CAMPUSES)
+    p_export.add_argument("--preset", default=None, choices=_PRESETS)
+    p_export.add_argument("--seed", type=int, default=None)
+    p_export.add_argument("--ugvs", type=int, default=None)
+    p_export.add_argument("--uavs", type=int, default=None)
+
+    p_serve = sub.add_parser("serve", help="serve an exported artifact "
+                                           "(micro-batched inference, SLOs)")
+    p_serve.add_argument("artifact", help="directory written by 'repro export'")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="listen port (0 picks a free one; see "
+                              "--ready-file)")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="flush a batch at this many queued requests "
+                              "(default: 32)")
+    p_serve.add_argument("--max-wait-us", type=float, default=2000.0,
+                         help="flush a batch this long after its oldest "
+                              "request arrived, in µs (default: 2000)")
+    p_serve.add_argument("--queue-limit", type=int, default=256,
+                         help="bounded-queue depth; beyond it requests are "
+                              "shed with 429 (default: 256)")
+    p_serve.add_argument("--timeout-ms", type=float, default=1000.0,
+                         help="per-request deadline (default: 1000)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="max seconds to wait for in-flight requests "
+                              "after SIGTERM (default: 30)")
+    p_serve.add_argument("--no-compile", action="store_true",
+                         help="serve the UAV CNN eagerly instead of through "
+                              "the compiled plan cache")
+    p_serve.add_argument("--no-warmup", action="store_true",
+                         help="skip pre-capturing compiled plans at boot")
+    p_serve.add_argument("--no-verify", action="store_true",
+                         help="skip the load-time bit-for-bit probe check")
+    p_serve.add_argument("--ready-file", default=None,
+                         help="write '<host> <port>' here once listening")
+
     from .obs.cli import add_profile_parser
 
     add_profile_parser(sub)
@@ -265,6 +317,35 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.check import main as check_main
 
         return check_main(args.check_args)
+
+    if args.command == "export":
+        from .serve import ArtifactError, export_artifact
+
+        try:
+            out = export_artifact(
+                args.checkpoint, args.out, method=args.method,
+                campus=args.campus, preset=args.preset, seed=args.seed,
+                num_ugvs=args.ugvs, num_uavs_per_ugv=args.uavs)
+        except ArtifactError as exc:
+            print(f"export failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"artifact written to {out} (probe-verified bit-for-bit)")
+        return 0
+
+    if args.command == "serve":
+        from .serve import ArtifactError, run_service
+
+        try:
+            return run_service(
+                args.artifact, host=args.host, port=args.port,
+                max_batch=args.max_batch, max_wait_us=args.max_wait_us,
+                queue_limit=args.queue_limit, timeout_ms=args.timeout_ms,
+                drain_timeout_s=args.drain_timeout,
+                compile_uav=not args.no_compile, warmup=not args.no_warmup,
+                verify=not args.no_verify, ready_file=args.ready_file)
+        except ArtifactError as exc:
+            print(f"refusing to serve: {exc}", file=sys.stderr)
+            return 1
 
     preset = get_preset(args.preset)
 

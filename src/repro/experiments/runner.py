@@ -271,6 +271,8 @@ def run_training(method: str, campus_name: str,
             config_fingerprint=fingerprint,
             manifest_extra={"method": method, "campus": campus_name,
                             "preset": preset_obj.name, "seed": seed,
+                            "num_ugvs": num_ugvs,
+                            "num_uavs_per_ugv": num_uavs_per_ugv,
                             "num_envs": num_envs, "num_workers": num_workers},
             telemetry=telemetry, interrupt=interrupt,
             extra_state=_obs_extra_state)

@@ -1,0 +1,53 @@
+"""Policy inference serving: export, micro-batched engine, dispatch service.
+
+Training produces full-state checkpoints (``repro.experiments.checkpoint``:
+parameters + Adam moments + rng streams + telemetry cursor).  Serving needs
+none of that weight — production traffic is *inference*: "where should this
+UGV/UAV go next" answered for many concurrent campus scenario streams.
+This package is that path, in three layers:
+
+* :mod:`repro.serve.artifact` — ``repro export`` freezes a training
+  checkpoint into a tape-free, versioned inference artifact (policy
+  weights + config fingerprint + an observation/action schema manifest),
+  verified bit-identical against the training-time policy at export time
+  and re-verifiable at every load.
+* :mod:`repro.serve.engine` — a dynamic micro-batcher that coalesces
+  concurrent requests into the PR-3 batched forwards
+  (``UGVPolicy.forward_batched`` / ``UAVPolicy.forward_arrays``), with a
+  warm compiled-plan cache (``repro.nn.compile``) on the UAV CNN path,
+  max-batch / max-wait knobs, a bounded queue with load-shedding and
+  per-request deadlines.
+* :mod:`repro.serve.service` — ``repro serve``: a stdlib-only asyncio
+  HTTP front end with per-stream scenario sessions, request timeouts,
+  429-style rejection under overload and graceful drain on SIGTERM.
+
+:mod:`repro.serve.loadgen` replays thousands of concurrent synthetic
+scenario streams against a running service; ``benchmarks/serve_latency.py``
+drives the whole train → export → serve → load-test loop and writes
+p50/p99 latency + throughput + shed rate to ``BENCH_serve.json``.
+
+See ``docs/serving.md`` for the artifact format, the knobs and the
+operations guide.
+"""
+
+from .artifact import (
+    SERVE_SCHEMA_VERSION,
+    ArtifactError,
+    FrozenPolicy,
+    export_artifact,
+    load_artifact,
+)
+from .engine import EngineOverloaded, InferenceEngine
+from .service import DispatchService, run_service
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "ArtifactError",
+    "FrozenPolicy",
+    "export_artifact",
+    "load_artifact",
+    "EngineOverloaded",
+    "InferenceEngine",
+    "DispatchService",
+    "run_service",
+]

@@ -1,0 +1,299 @@
+"""Dynamic micro-batching inference engine over a frozen policy.
+
+Concurrent callers submit single-scenario observation payloads; a single
+worker thread coalesces them into one batched forward through the
+policy's PR-3 batched paths (``UGVPolicy.forward_batched`` over stacked
+replicas, ``UAVPolicy.forward_arrays`` over concatenated crops).  Batch
+assembly is governed by two knobs:
+
+* ``max_batch`` — flush as soon as this many requests are waiting;
+* ``max_wait_us`` — flush no later than this long after the *oldest*
+  queued request arrived, so a lone request never waits for company.
+
+The queue is bounded: :meth:`InferenceEngine.submit` raises
+:class:`EngineOverloaded` instead of queueing unboundedly (the service
+maps this to a 429), which keeps latency bounded under overload instead
+of collapsing.  Every request carries an absolute deadline; requests
+that expire while queued are failed with :class:`TimeoutError` without
+spending a forward on them.
+
+Sampling happens inside the worker thread with the *per-session* rng the
+caller passed, so one scenario stream's action sequence depends only on
+its own seed and its own observation order — never on which other
+streams shared a batch.  (The forward itself is batch-composition
+independent too: all serving ops are row-independent, which the artifact
+probe verifies bit-for-bit at export and load time.)
+
+Deadlines use ``time.perf_counter`` — a monotonic interval clock, not
+wall time, so the determinism analyzer's DT002 wall-clock rule stays
+quiet by construction.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..env.observation import UGVObsArrays
+from ..obs.scope import counter_add, histogram_observe
+from .artifact import FrozenPolicy
+
+__all__ = ["EngineOverloaded", "InferenceEngine", "InferenceResult"]
+
+_STOP = object()
+
+
+class EngineOverloaded(RuntimeError):
+    """The bounded request queue is full; the caller should shed load."""
+
+
+@dataclass
+class InferenceResult:
+    """One request's decision: actions plus the value head's estimate.
+
+    ``actions`` are in policy units (stop index / release for UGVs, the
+    normalised 2-D direction for UAVs); ``moves`` scales UAV actions by
+    the schema's ``uav_max_step`` into metres (``None`` for UGV
+    requests).  ``batch_size`` records how many requests shared the
+    forward (observability + batching tests).
+    """
+
+    kind: str
+    actions: np.ndarray
+    log_probs: np.ndarray
+    values: np.ndarray
+    moves: np.ndarray | None
+    batch_size: int
+
+
+@dataclass
+class _Request:
+    kind: str
+    arrays: tuple
+    rng: np.random.Generator | None  # None => greedy (distribution mode)
+    future: Future
+    enqueued: float
+    deadline: float
+
+
+def _resolve(future: Future, value=None, exc: BaseException | None = None) -> None:
+    """Set a future's outcome, tolerating caller-side cancellation."""
+    try:
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(value)
+    except InvalidStateError:
+        pass  # caller cancelled/timed out first; the result is moot
+
+
+class InferenceEngine:
+    """Bounded-queue micro-batcher in front of a :class:`FrozenPolicy`.
+
+    ``submit`` is thread-safe and returns a ``concurrent.futures.Future``
+    (the asyncio front end wraps it with ``asyncio.wrap_future``).  Pass
+    ``autostart=False`` to control the worker thread explicitly — the
+    batching tests use this to stage a known queue before any batch is
+    assembled.
+    """
+
+    def __init__(self, policy: FrozenPolicy, *, max_batch: int = 32,
+                 max_wait_us: float = 2000.0, queue_limit: int = 256,
+                 timeout_ms: float = 1000.0, autostart: bool = True):
+        if max_batch < 1 or queue_limit < 1:
+            raise ValueError("max_batch and queue_limit must be >= 1")
+        self.policy = policy
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_us) / 1e6
+        self.timeout_s = float(timeout_ms) / 1e3
+        self._queue: queue.Queue = queue.Queue(maxsize=int(queue_limit))
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        # Monotonic counters; each key is written from a single thread
+        # (shed/submitted by callers, the rest by the worker).
+        self.stats = {"submitted": 0, "completed": 0, "shed": 0,
+                      "timeouts": 0, "batches": 0, "max_batch_seen": 0}
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._worker,
+                                            name="serve-engine", daemon=True)
+            self._thread.start()
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Drain: finish every queued request, then stop the worker."""
+        if self._stopping:
+            return
+        self._stopping = True
+        self._queue.put(_STOP)  # FIFO: everything queued before it drains first
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, arrays: tuple, *,
+               rng: np.random.Generator | None = None, greedy: bool = False,
+               timeout_s: float | None = None) -> Future:
+        """Enqueue one request; returns a future for its result.
+
+        Raises :class:`EngineOverloaded` when the bounded queue is full
+        and ``RuntimeError`` once the engine is stopping.  ``greedy``
+        selects the distribution mode; otherwise ``rng`` draws the
+        sample (required).
+        """
+        if kind not in ("ugv", "uav"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        if self._stopping:
+            raise RuntimeError("engine is stopping; not accepting requests")
+        if not greedy and rng is None:
+            raise ValueError("non-greedy requests need a session rng")
+        now = time.perf_counter()
+        request = _Request(kind, tuple(arrays), None if greedy else rng,
+                           Future(), now,
+                           now + (self.timeout_s if timeout_s is None
+                                  else float(timeout_s)))
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.stats["shed"] += 1
+            counter_add("serve/shed")
+            raise EngineOverloaded(
+                f"inference queue full ({self._queue.maxsize} pending)") from None
+        self.stats["submitted"] += 1
+        counter_add("serve/requests")
+        return request.future
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            batch = self._collect(first)
+            stop_seen = batch[-1] is _STOP
+            if stop_seen:
+                batch.pop()
+            if batch:
+                self._process(batch)
+            if stop_seen:
+                return
+
+    def _collect(self, first: _Request) -> list:
+        """Assemble one batch: up to ``max_batch`` requests, flushed no
+        later than ``max_wait_us`` after the oldest one arrived.
+
+        When the oldest request has already waited past its window (the
+        engine is backlogged), still sweep everything sitting in the
+        queue right now — under sustained load that is where batching
+        pays for itself; flushing singles would collapse throughput to
+        one forward per request.
+        """
+        batch: list = [first]
+        flush_at = first.enqueued + self.max_wait_s
+        while len(batch) < self.max_batch:
+            remaining = flush_at - time.perf_counter()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            batch.append(item)
+            if item is _STOP:
+                break
+        return batch
+
+    def _process(self, batch: list[_Request]) -> None:
+        now = time.perf_counter()
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline <= now:
+                self.stats["timeouts"] += 1
+                counter_add("serve/timeouts")
+                _resolve(request.future, exc=TimeoutError(
+                    "request expired in queue before a batch slot opened"))
+            else:
+                live.append(request)
+        if not live:
+            return
+        self.stats["batches"] += 1
+        self.stats["max_batch_seen"] = max(self.stats["max_batch_seen"], len(live))
+        histogram_observe("serve/batch_size", len(live))
+        for kind, runner in (("ugv", self._run_ugv), ("uav", self._run_uav)):
+            group = [r for r in live if r.kind == kind]
+            if not group:
+                continue
+            try:
+                runner(group)
+            except BaseException as exc:  # fail the group, keep serving
+                for request in group:
+                    _resolve(request.future, exc=exc)
+                continue
+            self.stats["completed"] += len(group)
+            counter_add("serve/completed", len(group))
+        latency_ms = (time.perf_counter() - live[0].enqueued) * 1e3
+        histogram_observe("serve/oldest_latency_ms", latency_ms)
+
+    # -- per-kind batched execution ------------------------------------
+    def _run_ugv(self, group: list[_Request]) -> None:
+        """One ``forward_batched`` over the group's stacked replicas."""
+        obs = UGVObsArrays(
+            stop_features=np.stack([r.arrays[0] for r in group]),
+            ugv_positions=np.stack([r.arrays[1] for r in group]),
+            ugv_stops=np.stack([r.arrays[2] for r in group]).astype(np.int64),
+            action_mask=np.stack([r.arrays[3] for r in group]),
+        )
+        logits, values = self.policy.ugv_forward(obs)
+        # Row-wise log-softmax in float64 (matches Categorical's math).
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs_all = shifted - np.log(
+            np.exp(shifted).sum(axis=-1, keepdims=True))
+        for i, request in enumerate(group):
+            row_logp = log_probs_all[i]  # (U, B+1)
+            if request.rng is None:
+                actions = row_logp.argmax(axis=-1)
+            else:
+                probs = np.exp(row_logp)
+                probs = probs / probs.sum(axis=-1, keepdims=True)
+                cdf = np.cumsum(probs, axis=-1)
+                draws = request.rng.random((probs.shape[0], 1))
+                actions = (draws > cdf).sum(axis=-1)
+            taken = np.take_along_axis(row_logp, actions[:, None], axis=-1)[:, 0]
+            _resolve(request.future, InferenceResult(
+                kind="ugv", actions=actions, log_probs=taken,
+                values=values[i], moves=None, batch_size=len(group)))
+
+    def _run_uav(self, group: list[_Request]) -> None:
+        """One ``forward_arrays`` over the group's concatenated crops."""
+        sizes = [r.arrays[0].shape[0] for r in group]
+        grids = np.concatenate([r.arrays[0] for r in group])
+        aux = np.concatenate([r.arrays[1] for r in group])
+        mean, log_std, values = self.policy.uav_forward(grids, aux)
+        std = np.exp(log_std)
+        max_step = float(self.policy.schema["uav_max_step"])
+        offset = 0
+        for request, n in zip(group, sizes):
+            m = mean[offset:offset + n]
+            if request.rng is None:
+                actions = m.copy()
+            else:
+                actions = m + std * request.rng.standard_normal(m.shape)
+            diff = (actions - m) / std
+            log_probs = (-0.5 * (diff * diff) - np.log(std)
+                         - 0.5 * np.log(2.0 * np.pi)).sum(axis=-1)
+            _resolve(request.future, InferenceResult(
+                kind="uav", actions=actions, log_probs=log_probs,
+                values=values[offset:offset + n], moves=actions * max_step,
+                batch_size=len(group)))
+            offset += n

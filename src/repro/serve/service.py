@@ -1,0 +1,433 @@
+"""``repro serve``: stdlib-asyncio dispatch service over a frozen artifact.
+
+One process, three layers: this module's minimal HTTP/1.1 front end
+(`asyncio.start_server`; no third-party web framework), the
+:class:`~repro.serve.engine.InferenceEngine` micro-batcher on its worker
+thread, and the :class:`~repro.serve.artifact.FrozenPolicy` forwards.
+
+Endpoints (all JSON unless noted):
+
+* ``GET /healthz`` — ``{"status": "ok" | "draining"}``.
+* ``GET /v1/artifact`` — the artifact manifest + compiled-plan stats.
+* ``GET /v1/metrics`` — engine counters plus the live metrics registry.
+* ``POST /v1/session`` — ``{"seed": int}`` ⇒ ``{"session": id}``; every
+  scenario stream owns a session whose rng makes its action sampling
+  depend only on its own seed and request order.
+* ``DELETE /v1/session/<id>`` — end a stream.
+* ``POST /v1/act`` — one decision request.  Two encodings:
+  JSON (``{"session", "kind": "ugv"|"uav", "greedy", <obs arrays as
+  nested lists>}``) or, for high-throughput clients, an ``.npz`` body
+  (``Content-Type: application/x-npz``, observation arrays by name) with
+  session/kind/greedy passed as query parameters; the response mirrors
+  the request encoding.
+
+Failure semantics (the SLO contract, see ``docs/serving.md``):
+
+* malformed payload / schema mismatch → **400** (never reaches the engine);
+* unknown session → **404**;
+* bounded queue full → **429** ``{"error": "overloaded", ...}`` — load is
+  shed instead of queueing without bound;
+* per-request deadline exceeded → **504**;
+* draining after SIGTERM → **503** for *new* work, while requests already
+  accepted run to completion before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import signal
+import time
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from ..obs.scope import active_profiler
+from .artifact import FrozenPolicy, load_artifact
+from .engine import EngineOverloaded, InferenceEngine
+
+__all__ = ["DispatchService", "run_service"]
+
+_JSON = "application/json"
+_NPZ = "application/x-npz"
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                429: "Too Many Requests", 500: "Internal Server Error",
+                503: "Service Unavailable", 504: "Gateway Timeout"}
+
+_MAX_BODY = 32 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Routed straight into an error response with ``status``."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+class _Session:
+    """Per-stream state: the sampling rng plus bookkeeping counters."""
+
+    __slots__ = ("sid", "seed", "rng", "requests")
+
+    def __init__(self, sid: str, seed: int):
+        self.sid = sid
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self.requests = 0
+
+
+class DispatchService:
+    """The serving state machine: sessions, routing, drain choreography."""
+
+    def __init__(self, policy: FrozenPolicy, engine: InferenceEngine, *,
+                 host: str = "127.0.0.1", port: int = 8765,
+                 drain_timeout_s: float = 30.0):
+        self.policy = policy
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.schema = policy.schema
+        self.sessions: dict[str, _Session] = {}
+        self.draining = False
+        self._session_counter = 0
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._drain_requested = asyncio.Event()
+        self._server: asyncio.AbstractServer | None = None
+        self.bound_port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def serve(self, ready_callback=None) -> None:
+        """Bind, serve until drain is requested, then drain and stop.
+
+        ``ready_callback(host, bound_port)`` fires once the socket is
+        listening (the load generator and CI use it for port discovery).
+        """
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_drain)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=2048)
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        if ready_callback is not None:
+            ready_callback(self.host, self.bound_port)
+        await self._drain_requested.wait()
+        # Stop accepting new connections; let accepted work finish.
+        self._server.close()
+        await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), self.drain_timeout_s)
+        except asyncio.TimeoutError:
+            pass  # cap the drain; stragglers get connection resets
+        self.engine.stop()
+
+    def begin_drain(self) -> None:
+        """SIGTERM entry: refuse new work, finish what was accepted."""
+        self.draining = True
+        self._drain_requested.set()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, ctype, payload = await self._route(method, path,
+                                                           headers, body)
+                close = not keep_alive or self.draining
+                writer.write(self._response(status, ctype, payload, close))
+                await writer.drain()
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _ = line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            raise asyncio.IncompleteReadError(line, None) from None
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise asyncio.IncompleteReadError(b"", None)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    @staticmethod
+    def _response(status: int, ctype: str, payload: bytes,
+                  close: bool) -> bytes:
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n")
+        return head.encode("latin-1") + payload
+
+    @staticmethod
+    def _json(obj) -> bytes:
+        return json.dumps(obj).encode()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, target: str, headers: dict,
+                     body: bytes) -> tuple[int, str, bytes]:
+        parts = urlsplit(target)
+        path = parts.path
+        try:
+            if path == "/healthz" and method == "GET":
+                return 200, _JSON, self._json(
+                    {"status": "draining" if self.draining else "ok"})
+            if path == "/v1/artifact" and method == "GET":
+                return 200, _JSON, self._json(self.policy.describe())
+            if path == "/v1/metrics" and method == "GET":
+                return 200, _JSON, self._json(self._metrics())
+            if path == "/v1/session" and method == "POST":
+                return self._create_session(body)
+            if path.startswith("/v1/session/") and method == "DELETE":
+                return self._delete_session(path.rsplit("/", 1)[1])
+            if path == "/v1/act" and method == "POST":
+                return await self._act(parts.query, headers, body)
+            return 404, _JSON, self._json({"error": f"no route {method} {path}"})
+        except _HttpError as exc:
+            return exc.status, _JSON, self._json({"error": exc.message})
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            return 500, _JSON, self._json({"error": f"{type(exc).__name__}: {exc}"})
+
+    def _metrics(self) -> dict:
+        prof = active_profiler()
+        return {
+            "engine": dict(self.engine.stats),
+            "sessions": len(self.sessions),
+            "inflight": self._inflight,
+            "draining": self.draining,
+            "registry": prof.metrics.as_dict() if prof is not None else None,
+        }
+
+    # -- sessions -------------------------------------------------------
+    def _create_session(self, body: bytes) -> tuple[int, str, bytes]:
+        if self.draining:
+            raise _HttpError(503, "draining; not accepting new sessions")
+        try:
+            seed = int(json.loads(body or b"{}").get("seed", 0))
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"bad session payload: {exc}") from None
+        self._session_counter += 1
+        sid = f"s{self._session_counter:010d}"
+        self.sessions[sid] = _Session(sid, seed)
+        return 200, _JSON, self._json({"session": sid, "seed": seed})
+
+    def _delete_session(self, sid: str) -> tuple[int, str, bytes]:
+        if self.sessions.pop(sid, None) is None:
+            raise _HttpError(404, f"unknown session {sid!r}")
+        return 200, _JSON, self._json({"deleted": sid})
+
+    # -- act ------------------------------------------------------------
+    async def _act(self, query: str, headers: dict,
+                   body: bytes) -> tuple[int, str, bytes]:
+        if self.draining:
+            raise _HttpError(503, "draining; not accepting new requests")
+        ctype = headers.get("content-type", _JSON).split(";")[0].strip()
+        if ctype == _NPZ:
+            meta, arrays = self._parse_npz(query, body)
+        else:
+            meta, arrays = self._parse_json(body)
+        session = self.sessions.get(meta["session"])
+        if session is None:
+            raise _HttpError(404, f"unknown session {meta['session']!r}")
+        kind = meta["kind"]
+        payload = self._validate(kind, arrays)
+        session.requests += 1
+        try:
+            future = self.engine.submit(kind, payload, rng=session.rng,
+                                        greedy=meta["greedy"])
+        except EngineOverloaded as exc:
+            raise _HttpError(429, f"overloaded: {exc}") from None
+        except RuntimeError as exc:
+            raise _HttpError(503, str(exc)) from None
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(future), self.engine.timeout_s + 1.0)
+        except TimeoutError:
+            raise _HttpError(504, "request deadline exceeded") from None
+        except asyncio.TimeoutError:
+            raise _HttpError(504, "request deadline exceeded") from None
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+        out = {"kind": result.kind, "batch_size": result.batch_size,
+               "actions": result.actions, "log_probs": result.log_probs,
+               "values": result.values}
+        if result.moves is not None:
+            out["moves"] = result.moves
+        if ctype == _NPZ:
+            buf = io.BytesIO()
+            np.savez(buf, **{k: np.asarray(v) for k, v in out.items()})
+            return 200, _NPZ, buf.getvalue()
+        return 200, _JSON, self._json(
+            {k: v.tolist() if isinstance(v, np.ndarray) else v
+             for k, v in out.items()})
+
+    # -- payload decoding / schema validation ---------------------------
+    @staticmethod
+    def _parse_json(body: bytes) -> tuple[dict, dict]:
+        try:
+            blob = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"bad JSON: {exc}") from None
+        if not isinstance(blob, dict):
+            raise _HttpError(400, "act payload must be a JSON object")
+        meta = {"session": str(blob.get("session", "")),
+                "kind": str(blob.get("kind", "ugv")),
+                "greedy": bool(blob.get("greedy", False))}
+        arrays = {}
+        for key, value in blob.items():
+            if key in ("session", "kind", "greedy"):
+                continue
+            try:
+                arrays[key] = np.asarray(value, dtype=float)
+            except (ValueError, TypeError) as exc:
+                raise _HttpError(400, f"field {key!r} is not an array: {exc}") \
+                    from None
+        return meta, arrays
+
+    @staticmethod
+    def _parse_npz(query: str, body: bytes) -> tuple[dict, dict]:
+        params = parse_qs(query)
+        meta = {"session": params.get("session", [""])[0],
+                "kind": params.get("kind", ["ugv"])[0],
+                "greedy": params.get("greedy", ["0"])[0] in ("1", "true")}
+        try:
+            with np.load(io.BytesIO(body), allow_pickle=False) as data:
+                arrays = {key: data[key] for key in data.files}
+        except (ValueError, OSError) as exc:
+            raise _HttpError(400, f"bad npz body: {exc}") from None
+        return meta, arrays
+
+    def _validate(self, kind: str, arrays: dict) -> tuple:
+        """Check the payload against the artifact schema; 400 on mismatch."""
+        s = self.schema
+        num_ugvs, num_stops = int(s["num_ugvs"]), int(s["num_stops"])
+        if kind == "ugv":
+            shapes = {"stop_features": (num_ugvs, num_stops, 3),
+                      "ugv_positions": (num_ugvs, 2),
+                      "ugv_stops": (num_ugvs,),
+                      "action_mask": (num_ugvs, num_stops + 1)}
+            got = self._require(arrays, shapes)
+            stops = got["ugv_stops"].astype(np.int64)
+            if stops.min(initial=0) < 0 or stops.max(initial=0) >= num_stops:
+                raise _HttpError(400, "ugv_stops indices out of range")
+            mask = got["action_mask"].astype(bool)
+            if not mask.any(axis=-1).all():
+                raise _HttpError(400, "action_mask leaves an agent with no "
+                                      "feasible action")
+            return (got["stop_features"], got["ugv_positions"], stops, mask)
+        if kind == "uav":
+            size = int(s["uav_obs_size"])
+            grids = arrays.get("grids")
+            aux = arrays.get("aux")
+            if grids is None or aux is None:
+                raise _HttpError(400, "uav act needs 'grids' and 'aux'")
+            grids = np.asarray(grids, dtype=float)
+            aux = np.asarray(aux, dtype=float)
+            if (grids.ndim != 4 or grids.shape[1:] != (3, size, size)
+                    or grids.shape[0] < 1):
+                raise _HttpError(400, f"grids must be (N, 3, {size}, {size}), "
+                                      f"got {grids.shape}")
+            if aux.shape != (grids.shape[0], int(s["uav_aux_dim"])):
+                raise _HttpError(400, f"aux must be ({grids.shape[0]}, "
+                                      f"{s['uav_aux_dim']}), got {aux.shape}")
+            return (grids, aux)
+        raise _HttpError(400, f"unknown kind {kind!r}")
+
+    @staticmethod
+    def _require(arrays: dict, shapes: dict[str, tuple]) -> dict:
+        got = {}
+        for name, shape in shapes.items():
+            value = arrays.get(name)
+            if value is None:
+                raise _HttpError(400, f"missing observation field {name!r}")
+            value = np.asarray(value)
+            if value.shape != shape:
+                raise _HttpError(400, f"{name} must have shape {shape}, "
+                                      f"got {value.shape}")
+            got[name] = value
+        return got
+
+
+def run_service(artifact_dir: str | Path, *, host: str = "127.0.0.1",
+                port: int = 8765, max_batch: int = 32,
+                max_wait_us: float = 2000.0, queue_limit: int = 256,
+                timeout_ms: float = 1000.0, drain_timeout_s: float = 30.0,
+                compile_uav: bool = True, warmup: bool = True,
+                verify: bool = True, ready_file: str | Path | None = None) -> int:
+    """Load an artifact and serve it until SIGTERM/SIGINT, then drain.
+
+    The synchronous entrypoint behind ``repro serve`` (and the
+    entrypoint the determinism shared-state map sweeps).  ``ready_file``,
+    when given, receives ``"<host> <port>\\n"`` once the socket is bound —
+    with ``port=0`` this is how callers learn the kernel-assigned port.
+    Returns the process exit code (0 after a clean drain).
+    """
+    policy = load_artifact(artifact_dir, verify=verify, compile_uav=compile_uav)
+    if warmup:
+        t0 = time.perf_counter()
+        policy.warmup()
+        print(f"warmed compiled plans in "
+              f"{time.perf_counter() - t0:.2f}s", flush=True)
+    engine = InferenceEngine(policy, max_batch=max_batch,
+                             max_wait_us=max_wait_us,
+                             queue_limit=queue_limit, timeout_ms=timeout_ms)
+    service = DispatchService(policy, engine, host=host, port=port,
+                              drain_timeout_s=drain_timeout_s)
+
+    def _ready(bound_host: str, bound_port: int) -> None:
+        print(f"serving {Path(artifact_dir).name} on "
+              f"http://{bound_host}:{bound_port}", flush=True)
+        if ready_file is not None:
+            Path(ready_file).write_text(f"{bound_host} {bound_port}\n")
+
+    try:
+        asyncio.run(service.serve(ready_callback=_ready))
+    finally:
+        engine.stop()
+    print(f"drained: {engine.stats}", flush=True)
+    return 0

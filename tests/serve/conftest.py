@@ -1,0 +1,36 @@
+"""Shared serve fixtures: one tiny trained checkpoint + its artifact.
+
+Training even one smoke iteration dominates the serve suite's runtime,
+so the checkpoint and the exported artifact are session-scoped and
+shared by the artifact, engine and service tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_training
+from repro.serve.artifact import export_artifact, load_artifact
+
+
+@pytest.fixture(scope="session")
+def trained_run(tmp_path_factory):
+    """A one-iteration smoke GARL run with a full-state checkpoint."""
+    run_dir = tmp_path_factory.mktemp("serve_run")
+    record, agent = run_training(
+        "garl", "kaist", "smoke", train_iterations=1,
+        checkpoint_dir=run_dir, save_every=1, handle_signals=False)
+    return {"run_dir": run_dir, "agent": agent, "record": record}
+
+
+@pytest.fixture(scope="session")
+def artifact_dir(trained_run, tmp_path_factory):
+    """The run above frozen into an inference artifact."""
+    out = tmp_path_factory.mktemp("serve_artifact") / "artifact"
+    export_artifact(trained_run["run_dir"], out)
+    return out
+
+
+@pytest.fixture(scope="session")
+def frozen_policy(artifact_dir):
+    return load_artifact(artifact_dir, verify=True)

@@ -1,0 +1,128 @@
+"""Export → load round trip: bitwise equality and the refusal matrix."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn import no_grad
+from repro.serve.artifact import (
+    SERVE_SCHEMA_VERSION,
+    ArtifactError,
+    _probe_arrays,
+    export_artifact,
+    load_artifact,
+)
+
+
+def test_manifest_records_identity(artifact_dir):
+    manifest = json.loads((artifact_dir / "manifest.json").read_text())
+    assert manifest["serve_schema_version"] == SERVE_SCHEMA_VERSION
+    assert manifest["method"] == "garl"
+    assert manifest["campus"] == "kaist"
+    assert manifest["num_ugvs"] == 4 and manifest["num_uavs_per_ugv"] == 2
+    assert manifest["schema"]["num_ugv_actions"] == manifest["schema"]["num_stops"] + 1
+    assert set(manifest["params"]) == {"ugv_policy", "uav_policy"}
+    assert manifest["probe"]["ugv_logits"]
+    assert manifest["training"]["config_fingerprint"]
+
+
+def test_roundtrip_bitwise_vs_live_policy(trained_run, frozen_policy):
+    """The frozen forwards reproduce the training agent's outputs exactly."""
+    agent = trained_run["agent"]
+    obs, grids, aux = _probe_arrays(frozen_policy.schema)
+
+    logits, values = frozen_policy.ugv_forward(obs)
+    with no_grad():
+        live = agent.ugv_policy.forward_batched(obs)
+    np.testing.assert_array_equal(logits, live.logits.numpy())
+    np.testing.assert_array_equal(values, live.values.numpy())
+
+    mean, log_std, uav_values = frozen_policy.uav_forward(grids, aux)
+    with no_grad():
+        dist, live_values = agent.uav_policy.forward_arrays(grids, aux)
+    np.testing.assert_array_equal(mean, dist.mean.numpy())
+    np.testing.assert_array_equal(log_std, agent.uav_policy.log_std.data)
+    np.testing.assert_array_equal(uav_values, live_values.numpy())
+
+
+def test_uav_padding_is_row_exact(frozen_policy):
+    """Bucket padding never changes the live rows' bits."""
+    _, grids, aux = _probe_arrays(frozen_policy.schema)
+    full_mean, _, full_values = frozen_policy.uav_forward(grids, aux)
+    # N=3 pads to the 4-bucket; rows must match the N=8 forward's bits.
+    mean3, _, values3 = frozen_policy.uav_forward(grids[:3], aux[:3])
+    np.testing.assert_array_equal(mean3, full_mean[:3])
+    np.testing.assert_array_equal(values3, full_values[:3])
+
+
+def test_compiled_and_eager_uav_paths_agree(artifact_dir):
+    compiled = load_artifact(artifact_dir, verify=True, compile_uav=True)
+    eager = load_artifact(artifact_dir, verify=True, compile_uav=False)
+    _, grids, aux = _probe_arrays(compiled.schema)
+    for n in (1, 3, 8):
+        got = compiled.uav_forward(grids[:n], aux[:n])
+        want = eager.uav_forward(grids[:n], aux[:n])
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+    # The compiled dispatcher actually replayed plans (not silent fallback).
+    stats = compiled._uav_step.describe()
+    assert stats["disabled_reason"] is None
+    assert stats["replay_calls"] >= 1
+
+
+def _tamper(artifact_dir, tmp_path, mutate):
+    import shutil
+
+    copy = tmp_path / "tampered"
+    shutil.copytree(artifact_dir, copy)
+    manifest = json.loads((copy / "manifest.json").read_text())
+    mutate(copy, manifest)
+    (copy / "manifest.json").write_text(json.dumps(manifest))
+    return copy
+
+
+def test_refuses_wrong_schema_version(artifact_dir, tmp_path):
+    def bump(_copy, manifest):
+        manifest["serve_schema_version"] = SERVE_SCHEMA_VERSION + 1
+
+    with pytest.raises(ArtifactError, match="serve schema version"):
+        load_artifact(_tamper(artifact_dir, tmp_path, bump))
+
+
+def test_refuses_mismatched_config_fingerprint(artifact_dir, tmp_path):
+    """A manifest whose config would build a different net is rejected."""
+    def drift(_copy, manifest):
+        manifest["garl_config"]["hidden_dim"] += 1
+
+    with pytest.raises(ArtifactError, match="fingerprint"):
+        load_artifact(_tamper(artifact_dir, tmp_path, drift))
+
+
+def test_refuses_tampered_weights(artifact_dir, tmp_path):
+    def corrupt(copy, _manifest):
+        path = copy / "uav_policy.npz"
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        key = next(k for k in arrays if k.startswith("param::"))
+        arrays[key] = arrays[key] + 1e-3
+        np.savez(path, **arrays)
+
+    with pytest.raises(ArtifactError, match="digest"):
+        load_artifact(_tamper(artifact_dir, tmp_path, corrupt))
+
+
+def test_refuses_stateful_policy(trained_run, tmp_path):
+    """IC3Net's recurrent policy cannot sit behind the micro-batcher."""
+    with pytest.raises(ArtifactError, match="recurrent|stateful"):
+        export_artifact(trained_run["run_dir"], tmp_path / "a",
+                        method="ic3net")
+
+
+def test_export_from_specific_iter_dir(trained_run, tmp_path):
+    iters = sorted(trained_run["run_dir"].glob("iter_*"))
+    assert iters
+    out = export_artifact(iters[-1], tmp_path / "from_iter")
+    load_artifact(out, verify=True)

@@ -1,0 +1,158 @@
+"""Micro-batcher semantics: flush, coalesce, deadline, shed, drain."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.artifact import _probe_arrays
+from repro.serve.engine import EngineOverloaded, InferenceEngine
+
+
+def _ugv_payload(policy, rng):
+    obs, _, _ = _probe_arrays(policy.schema, seed=int(rng.integers(1 << 30)))
+    return (obs.stop_features[0], obs.ugv_positions[0], obs.ugv_stops[0],
+            obs.action_mask[0])
+
+
+def _uav_payload(policy, rng, n=2):
+    _, grids, aux = _probe_arrays(policy.schema, seed=int(rng.integers(1 << 30)))
+    return (grids[:n], aux[:n])
+
+
+@pytest.fixture
+def engine(frozen_policy):
+    eng = InferenceEngine(frozen_policy, max_batch=8, max_wait_us=2000,
+                          queue_limit=16, timeout_ms=2000)
+    yield eng
+    eng.stop()
+
+
+def test_single_request_flushes_on_max_wait(frozen_policy):
+    """A lone request completes after ~max_wait, not only once a batch
+    fills: the flush deadline is the batching contract's second half."""
+    eng = InferenceEngine(frozen_policy, max_batch=64, max_wait_us=30_000,
+                          timeout_ms=5000)
+    try:
+        rng = np.random.default_rng(0)
+        t0 = time.perf_counter()
+        future = eng.submit("ugv", _ugv_payload(frozen_policy, rng), rng=rng)
+        result = future.result(timeout=5)
+        elapsed = time.perf_counter() - t0
+        assert result.batch_size == 1
+        assert elapsed < 2.0  # flushed by the deadline, nowhere near forever
+    finally:
+        eng.stop()
+
+
+def test_coalesces_up_to_max_batch(frozen_policy):
+    """Requests staged before the worker starts ride one batched forward."""
+    eng = InferenceEngine(frozen_policy, max_batch=8, max_wait_us=50_000,
+                          queue_limit=32, timeout_ms=5000, autostart=False)
+    rng = np.random.default_rng(1)
+    futures = [eng.submit("ugv", _ugv_payload(frozen_policy, rng), rng=rng)
+               for _ in range(5)]
+    eng.start()
+    sizes = {f.result(timeout=5).batch_size for f in futures}
+    eng.stop()
+    assert sizes == {5}
+    assert eng.stats["batches"] == 1
+    assert eng.stats["completed"] == 5
+
+
+def test_mixed_kinds_share_one_assembly(frozen_policy):
+    eng = InferenceEngine(frozen_policy, max_batch=8, max_wait_us=50_000,
+                          timeout_ms=5000, autostart=False)
+    rng = np.random.default_rng(2)
+    f_ugv = eng.submit("ugv", _ugv_payload(frozen_policy, rng), rng=rng)
+    f_uav = eng.submit("uav", _uav_payload(frozen_policy, rng), rng=rng)
+    eng.start()
+    r_ugv = f_ugv.result(timeout=5)
+    r_uav = f_uav.result(timeout=5)
+    eng.stop()
+    assert r_ugv.kind == "ugv" and r_uav.kind == "uav"
+    # One assembly, two per-kind forwards of one request each.
+    assert eng.stats["batches"] == 1
+    assert r_ugv.batch_size == r_uav.batch_size == 1
+    assert r_uav.moves is not None
+    np.testing.assert_array_equal(
+        r_uav.moves, r_uav.actions * frozen_policy.schema["uav_max_step"])
+
+
+def test_expired_requests_time_out_without_a_forward(frozen_policy):
+    eng = InferenceEngine(frozen_policy, max_batch=8, max_wait_us=1000,
+                          timeout_ms=5000, autostart=False)
+    rng = np.random.default_rng(3)
+    future = eng.submit("ugv", _ugv_payload(frozen_policy, rng), rng=rng,
+                        timeout_s=0.005)
+    time.sleep(0.05)  # expire while the worker is not yet running
+    eng.start()
+    with pytest.raises(TimeoutError):
+        future.result(timeout=5)
+    eng.stop()
+    assert eng.stats["timeouts"] == 1
+    assert eng.stats["completed"] == 0
+
+
+def test_sheds_when_queue_is_full(frozen_policy):
+    eng = InferenceEngine(frozen_policy, max_batch=4, queue_limit=2,
+                          timeout_ms=5000, autostart=False)
+    rng = np.random.default_rng(4)
+    payload = _ugv_payload(frozen_policy, rng)
+    eng.submit("ugv", payload, rng=rng)
+    eng.submit("ugv", payload, rng=rng)
+    with pytest.raises(EngineOverloaded):
+        eng.submit("ugv", payload, rng=rng)
+    assert eng.stats["shed"] == 1
+    eng.start()
+    eng.stop()
+
+
+def test_stop_drains_queued_requests(frozen_policy):
+    """stop() is a drain: everything already queued still completes."""
+    eng = InferenceEngine(frozen_policy, max_batch=4, max_wait_us=1000,
+                          queue_limit=32, timeout_ms=5000, autostart=False)
+    rng = np.random.default_rng(5)
+    futures = [eng.submit("ugv", _ugv_payload(frozen_policy, rng), rng=rng)
+               for _ in range(6)]
+    eng.start()
+    eng.stop()
+    assert all(f.result(timeout=1).actions.shape ==
+               (frozen_policy.schema["num_ugvs"],) for f in futures)
+    with pytest.raises(RuntimeError, match="stopping"):
+        eng.submit("ugv", _ugv_payload(frozen_policy, rng), rng=rng)
+
+
+def test_session_rng_isolation(frozen_policy, engine):
+    """A stream's actions depend on its own seed/order, not co-batching."""
+    payload = _ugv_payload(frozen_policy, np.random.default_rng(6))
+
+    def run(seed, noise_streams):
+        rng = np.random.default_rng(seed)
+        others = [np.random.default_rng(100 + k) for k in range(noise_streams)]
+        results = []
+        for _ in range(4):
+            futures = [engine.submit("ugv", payload, rng=o) for o in others]
+            futures.append(engine.submit("ugv", payload, rng=rng))
+            results.append(futures[-1].result(timeout=5).actions)
+            for f in futures[:-1]:
+                f.result(timeout=5)
+        return np.stack(results)
+
+    alone = run(7, noise_streams=0)
+    crowded = run(7, noise_streams=3)
+    np.testing.assert_array_equal(alone, crowded)
+
+
+def test_greedy_matches_argmax(frozen_policy, engine):
+    payload = _ugv_payload(frozen_policy, np.random.default_rng(8))
+    result = engine.submit("ugv", payload, greedy=True).result(timeout=5)
+    # Greedy = per-agent argmax over the masked logits for this payload.
+    from repro.env.observation import UGVObsArrays
+
+    single = UGVObsArrays(payload[0][None], payload[1][None],
+                          payload[2][None], payload[3][None])
+    logits, _ = frozen_policy.ugv_forward(single)
+    np.testing.assert_array_equal(result.actions, logits[0].argmax(axis=-1))

@@ -1,0 +1,266 @@
+"""Service front-end semantics: routing, schema 400s, overload, drain.
+
+Most tests drive an in-process service on an ephemeral port through a
+plain ``http.client`` connection.  The SIGTERM drain drill runs the real
+``repro serve`` process and kills it mid-request.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import http.client
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve.artifact import _probe_arrays
+from repro.serve.engine import InferenceEngine
+from repro.serve.service import DispatchService
+
+
+# ----------------------------------------------------------------------
+# In-process service harness
+# ----------------------------------------------------------------------
+
+class _Server:
+    """Run DispatchService.serve() on a background event-loop thread."""
+
+    def __init__(self, policy, **engine_kwargs):
+        import asyncio
+
+        self.engine = InferenceEngine(policy, **engine_kwargs)
+        self.service = DispatchService(policy, self.engine,
+                                       host="127.0.0.1", port=0,
+                                       drain_timeout_s=10.0)
+        self.port: int | None = None
+        self.loop = None
+        ready = threading.Event()
+
+        def _ready(_host, port):
+            self.port = port
+            self.loop = asyncio.get_running_loop()
+            ready.set()
+
+        def _run():
+            asyncio.run(self.service.serve(ready_callback=_ready))
+
+        self.thread = threading.Thread(target=_run, daemon=True)
+        self.thread.start()
+        assert ready.wait(timeout=10), "service did not come up"
+
+    def stop(self):
+        # Trigger the same path SIGTERM takes, from the loop's thread.
+        self.loop.call_soon_threadsafe(self.service.begin_drain)
+        self.thread.join(timeout=15)
+        self.engine.stop()
+
+    def connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
+
+
+def _call(conn, method, path, body=None, ctype="application/json"):
+    headers = {"Content-Type": ctype} if body is not None else {}
+    conn.request(method, path, body=body, headers=headers)
+    resp = conn.getresponse()
+    payload = resp.read()
+    return resp.status, payload
+
+
+def _npz(arrays: dict) -> bytes:
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+@pytest.fixture(scope="module")
+def server(frozen_policy):
+    srv = _Server(frozen_policy, max_batch=8, max_wait_us=1000,
+                  queue_limit=64, timeout_ms=2000)
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def session_id(server):
+    conn = server.connection()
+    status, body = _call(conn, "POST", "/v1/session",
+                         json.dumps({"seed": 7}).encode())
+    conn.close()
+    assert status == 200
+    return json.loads(body)["session"]
+
+
+def _ugv_json(policy, session, greedy=False):
+    obs, _, _ = _probe_arrays(policy.schema)
+    return {
+        "session": session, "kind": "ugv", "greedy": greedy,
+        "stop_features": obs.stop_features[0].tolist(),
+        "ugv_positions": obs.ugv_positions[0].tolist(),
+        "ugv_stops": obs.ugv_stops[0].tolist(),
+        "action_mask": obs.action_mask[0].astype(int).tolist(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Routing + payloads
+# ----------------------------------------------------------------------
+
+def test_healthz_and_artifact(server):
+    conn = server.connection()
+    status, body = _call(conn, "GET", "/healthz")
+    assert status == 200 and json.loads(body)["status"] == "ok"
+    status, body = _call(conn, "GET", "/v1/artifact")
+    assert status == 200
+    blob = json.loads(body)
+    assert blob["manifest"]["method"] == "garl"
+    status, body = _call(conn, "GET", "/v1/metrics")
+    assert status == 200 and "engine" in json.loads(body)
+    conn.close()
+
+
+def test_act_json_roundtrip(server, frozen_policy, session_id):
+    conn = server.connection()
+    status, body = _call(conn, "POST", "/v1/act",
+                         json.dumps(_ugv_json(frozen_policy, session_id)).encode())
+    assert status == 200, body
+    blob = json.loads(body)
+    num_ugvs = frozen_policy.schema["num_ugvs"]
+    num_actions = frozen_policy.schema["num_ugv_actions"]
+    assert len(blob["actions"]) == num_ugvs
+    assert all(0 <= a < num_actions for a in blob["actions"])
+    assert len(blob["values"]) == num_ugvs
+    conn.close()
+
+
+def test_act_npz_roundtrip(server, frozen_policy, session_id):
+    _, grids, aux = _probe_arrays(frozen_policy.schema)
+    conn = server.connection()
+    status, body = _call(conn, "POST",
+                         f"/v1/act?session={session_id}&kind=uav",
+                         _npz({"grids": grids, "aux": aux}),
+                         ctype="application/x-npz")
+    assert status == 200
+    with np.load(io.BytesIO(body)) as data:
+        assert data["actions"].shape == (grids.shape[0], 2)
+        assert data["moves"].shape == (grids.shape[0], 2)
+    conn.close()
+
+
+def test_unknown_session_is_404(server, frozen_policy):
+    conn = server.connection()
+    status, body = _call(conn, "POST", "/v1/act",
+                         json.dumps(_ugv_json(frozen_policy, "nope")).encode())
+    assert status == 404
+    conn.close()
+
+
+def test_schema_mismatch_is_400(server, frozen_policy, session_id):
+    payload = _ugv_json(frozen_policy, session_id)
+    payload["stop_features"] = [[0.0, 1.0]]  # wrong shape entirely
+    conn = server.connection()
+    status, body = _call(conn, "POST", "/v1/act", json.dumps(payload).encode())
+    assert status == 400
+    assert "stop_features" in json.loads(body)["error"]
+    # Malformed JSON is also a 400, not a 500.
+    status, _ = _call(conn, "POST", "/v1/act", b"{not json")
+    assert status == 400
+    conn.close()
+
+
+def test_overload_sheds_with_429(frozen_policy):
+    """With a tiny queue and a stalled clock, extra load sheds as 429."""
+    srv = _Server(frozen_policy, max_batch=2, max_wait_us=200_000,
+                  queue_limit=2, timeout_ms=5000)
+    try:
+        conn = srv.connection()
+        status, body = _call(conn, "POST", "/v1/session", b"{}")
+        sid = json.loads(body)["session"]
+        payload = json.dumps(_ugv_json(frozen_policy, sid)).encode()
+
+        results = []
+
+        def fire():
+            c = srv.connection()
+            results.append(_call(c, "POST", "/v1/act", payload)[0])
+            c.close()
+
+        threads = [threading.Thread(target=fire) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=20)
+        conn.close()
+        assert results, "no requests completed"
+        assert set(results) <= {200, 429}
+        assert 429 in results, f"nothing shed: {results}"
+        assert 200 in results, f"everything shed: {results}"
+    finally:
+        srv.stop()
+
+
+# ----------------------------------------------------------------------
+# SIGTERM drain (real process)
+# ----------------------------------------------------------------------
+
+def test_sigterm_drains_in_flight_requests(artifact_dir, frozen_policy,
+                                           tmp_path):
+    """SIGTERM mid-traffic: the in-flight request completes, new work is
+    refused with 503, and the process exits 0."""
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    ready = tmp_path / "ready"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(artifact_dir),
+         "--port", "0", "--ready-file", str(ready), "--no-warmup",
+         "--max-wait-us", "150000", "--timeout-ms", "5000"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        deadline = time.perf_counter() + 60
+        while not ready.exists():
+            assert proc.poll() is None, proc.stdout.read()
+            assert time.perf_counter() < deadline, "service never came up"
+            time.sleep(0.05)
+        host, port = ready.read_text().split()
+        port = int(port)
+
+        conn = http.client.HTTPConnection(host, port, timeout=20)
+        status, body = _call(conn, "POST", "/v1/session", b"{}")
+        assert status == 200
+        sid = json.loads(body)["session"]
+        payload = json.dumps(_ugv_json(frozen_policy, sid)).encode()
+
+        # Fire a request that will sit in the 150 ms batching window,
+        # then SIGTERM while it is in flight.
+        result: dict = {}
+
+        def act():
+            result["response"] = _call(conn, "POST", "/v1/act", payload)
+
+        worker = threading.Thread(target=act)
+        worker.start()
+        time.sleep(0.05)  # let the request reach the engine queue
+        proc.send_signal(signal.SIGTERM)
+        worker.join(timeout=30)
+        assert result["response"][0] == 200, result
+
+        rc = proc.wait(timeout=30)
+        assert rc == 0, proc.stdout.read()
+
+        # After drain the socket is gone: new connections are refused.
+        with pytest.raises(OSError):
+            fresh = http.client.HTTPConnection(host, port, timeout=2)
+            fresh.request("GET", "/healthz")
+            fresh.getresponse()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
